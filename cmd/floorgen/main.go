@@ -1,0 +1,112 @@
+// Command floorgen inspects, converts and renders MPSoC floorplans — the
+// "definition of the floorplanning to be evaluated" step of the paper's
+// flow (Figure 5). It loads one of the built-in Figure 4 floorplans or a
+// JSON file, validates it, reports the component inventory and the thermal
+// grid, and optionally writes JSON and SVG versions.
+//
+//	floorgen -plan arm11 -cells 28 -svg arm11.svg -json arm11.json
+//	floorgen -in custom.json -cells 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"thermemu"
+	"thermemu/internal/floorplan"
+)
+
+func main() {
+	var (
+		plan    = flag.String("plan", "arm11", "built-in floorplan: arm7 | arm11")
+		inPath  = flag.String("in", "", "load a JSON floorplan instead of a built-in")
+		cells   = flag.Int("cells", 28, "thermal cell target for the grid report")
+		jsonOut = flag.String("json", "", "write the floorplan as JSON to this path")
+		svgOut  = flag.String("svg", "", "render the floorplan as SVG to this path")
+	)
+	flag.Parse()
+	if err := run(*plan, *inPath, *cells, *jsonOut, *svgOut); err != nil {
+		fmt.Fprintln(os.Stderr, "floorgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(plan, inPath string, cells int, jsonOut, svgOut string) error {
+	var fp *thermemu.Floorplan
+	switch {
+	case inPath != "":
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		loaded, err := floorplan.ReadJSON(f)
+		if err != nil {
+			return err
+		}
+		fp = loaded
+	case plan == "arm7":
+		fp = thermemu.FourARM7()
+	case plan == "arm11":
+		fp = thermemu.FourARM11()
+	default:
+		return fmt.Errorf("unknown built-in floorplan %q", plan)
+	}
+	if err := fp.Validate(); err != nil {
+		return err
+	}
+
+	fmt.Printf("floorplan %s: %.2f x %.2f mm die, %d components, %.0f%% utilised\n",
+		fp.Name, fp.DieW*1e3, fp.DieH*1e3, len(fp.Components), 100*fp.Utilisation())
+	fmt.Printf("%-12s %-10s %8s %8s %10s %12s\n",
+		"component", "kind", "x (µm)", "y (µm)", "area mm²", "max power")
+	comps := append([]floorplan.Component(nil), fp.Components...)
+	sort.Slice(comps, func(i, j int) bool { return comps[i].Name < comps[j].Name })
+	var maxPw float64
+	for _, c := range comps {
+		fmt.Printf("%-12s %-10s %8.0f %8.0f %10.3f %9.1f mW\n",
+			c.Name, c.Kind, c.Rect.X*1e6, c.Rect.Y*1e6, c.Rect.Area()*1e6, c.Model.MaxPowerW*1e3)
+		maxPw += c.Model.MaxPowerW
+	}
+	fmt.Printf("total max power: %.3f W\n", maxPw)
+
+	grid := fp.GridTargetCells(cells)
+	host, err := thermemu.NewThermalHost(fp, cells)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("thermal grid:    %d surface cells requested, %d built; RC network %d nodes, %d resistors\n",
+		cells, len(grid), host.Model.NumCells(), host.Model.NumEdges())
+
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := fp.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+	if svgOut != "" {
+		f, err := os.Create(svgOut)
+		if err != nil {
+			return err
+		}
+		if err := fp.WriteSVG(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", svgOut)
+	}
+	return nil
+}

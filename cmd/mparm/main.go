@@ -1,0 +1,97 @@
+// Command mparm runs a workload on the signal-level cycle-accurate baseline
+// kernel (the MPARM-class simulator the framework is compared against in
+// Table 3) and reports both the run and the kernel's signal-management
+// work — the overhead the FPGA emulator avoids.
+//
+//	mparm -cores 4 -workload matrix -n 12 -iters 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thermemu"
+	"thermemu/internal/emu"
+	"thermemu/internal/mparm"
+	"thermemu/internal/workloads"
+)
+
+func main() {
+	var (
+		cores    = flag.Int("cores", 4, "emulated cores")
+		workload = flag.String("workload", "matrix", "matrix | dithering")
+		n        = flag.Int("n", 12, "matrix dimension")
+		iters    = flag.Int("iters", 2, "matrix iterations per core")
+		size     = flag.Int("size", 32, "dithering image edge")
+		ic       = flag.String("ic", "opb", "interconnect: opb | plb | custom | noc")
+	)
+	flag.Parse()
+	if err := run(*cores, *workload, *n, *iters, *size, *ic); err != nil {
+		fmt.Fprintln(os.Stderr, "mparm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cores int, workload string, n, iters, size int, ic string) error {
+	cfg := thermemu.DefaultPlatform(cores)
+	switch ic {
+	case "opb":
+	case "plb":
+		cfg.IC = emu.ICBusPLB
+	case "custom":
+		cfg.IC = emu.ICBusCustom
+	case "noc":
+		cfg.IC = emu.ICNoC
+		cfg.NoC = emu.Table3NoC(cores)
+	default:
+		return fmt.Errorf("unknown interconnect %q", ic)
+	}
+	var spec *thermemu.Workload
+	var err error
+	switch workload {
+	case "matrix":
+		spec, err = workloads.Matrix(cores, n, iters, cfg.PrivKB)
+	case "dithering":
+		spec, err = workloads.Dithering(cores, size)
+	default:
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+	if err != nil {
+		return err
+	}
+
+	p, err := emu.New(cfg)
+	if err != nil {
+		return err
+	}
+	for i, im := range spec.Programs {
+		if err := p.LoadProgram(i, im); err != nil {
+			return err
+		}
+	}
+	for _, b := range spec.Shared {
+		p.WriteShared(b.Addr, b.Data)
+	}
+	k := mparm.New(p)
+	cycles, done := k.Run(1 << 62)
+	if err := p.Fault(); err != nil {
+		return err
+	}
+	if done && spec.Verify != nil {
+		if err := spec.Verify(p.ReadSharedWord); err != nil {
+			return err
+		}
+	}
+	if err := k.VerifyObserved(); err != nil {
+		return err
+	}
+	st := k.Stats()
+	fmt.Printf("workload:         %s (%s interconnect)\n", spec.Name, ic)
+	fmt.Printf("cycles simulated: %d (done=%v, verified)\n", cycles, done)
+	fmt.Printf("delta cycles:     %d (%.2f per clock)\n", st.DeltaCycles, float64(st.DeltaCycles)/float64(st.Cycles))
+	fmt.Printf("process evals:    %d (%.1f per clock)\n", st.Evaluations, float64(st.Evaluations)/float64(st.Cycles))
+	fmt.Printf("signal ops:       %d (%.1f per clock)\n", st.SignalOps, float64(st.SignalOps)/float64(st.Cycles))
+	fmt.Printf("bank checksum:    %#x\n", k.BankChecksum())
+	return nil
+}

@@ -1,0 +1,195 @@
+// Command thermemu runs the HW/SW co-emulation framework from the command
+// line: it emulates an MPSoC running one of the paper's workloads, streams
+// per-window power statistics to the SW thermal library (in-process by
+// default, or to a remote cmd/thermserver over TCP), applies the selected
+// run-time thermal-management policy, and reports the run.
+//
+// Examples:
+//
+//	thermemu -cores 4 -workload matrix -n 16 -iters 100
+//	thermemu -cores 4 -workload matrix-tm -iters 400 -tm -csv run.csv
+//	thermemu -cores 4 -workload dithering -size 64 -ic noc
+//	thermemu -workload matrix-tm -host 127.0.0.1:9077   (remote thermal host)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thermemu"
+	"thermemu/internal/core"
+	"thermemu/internal/emu"
+	"thermemu/internal/noc"
+	"thermemu/internal/tm"
+	"thermemu/internal/trace"
+	"thermemu/internal/workloads"
+)
+
+func main() {
+	var (
+		cores    = flag.Int("cores", 4, "emulated cores (1-8)")
+		workload = flag.String("workload", "matrix", "matrix | matrix-tm | dithering")
+		n        = flag.Int("n", 16, "matrix dimension")
+		iters    = flag.Int("iters", 10, "matrix iterations per core")
+		size     = flag.Int("size", 64, "dithering image edge")
+		ic       = flag.String("ic", "opb", "interconnect: opb | plb | custom | noc")
+		nocSpec  = flag.String("noc", "pair", "NoC topology when -ic noc: pair | mesh:WxH | ring:N")
+		freqMHz  = flag.Int("freq", 0, "virtual clock in MHz (0 = platform default)")
+		withTM   = flag.Bool("tm", false, "enable the 350K/340K threshold DFS policy")
+		windowMs = flag.Float64("window", 1.0, "sampling window in virtual ms")
+		tscale   = flag.Float64("timescale", 100, "thermal time compression (1 = paper-faithful)")
+		cells    = flag.Int("cells", 28, "thermal cells for the floorplan grid")
+		csvPath  = flag.String("csv", "", "write per-window samples to this CSV file")
+		hostAddr = flag.String("host", "", "remote thermal server address (empty = in-process)")
+		report   = flag.Bool("report", false, "print the detailed platform statistics report")
+		vcdPath  = flag.String("vcd", "", "write the run as a VCD waveform to this path")
+		jsonPath = flag.String("json", "", "write the run's samples as JSON to this path")
+	)
+	flag.Parse()
+	if err := run(*cores, *workload, *n, *iters, *size, *ic, *nocSpec, *freqMHz, *withTM,
+		*windowMs, *tscale, *cells, *csvPath, *hostAddr, *report, *vcdPath, *jsonPath); err != nil {
+		fmt.Fprintln(os.Stderr, "thermemu:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cores int, workload string, n, iters, size int, ic, nocSpec string, freqMHz int,
+	withTM bool, windowMs, tscale float64, cells int, csvPath, hostAddr string,
+	report bool, vcdPath, jsonPath string) error {
+	pcfg := thermemu.DefaultPlatform(cores)
+	switch ic {
+	case "opb":
+		pcfg.IC = emu.ICBusOPB
+	case "plb":
+		pcfg.IC = emu.ICBusPLB
+	case "custom":
+		pcfg.IC = emu.ICBusCustom
+	case "noc":
+		pcfg.IC = emu.ICNoC
+		topo, err := noc.ParseTopology(nocSpec)
+		if err != nil {
+			return err
+		}
+		for c := 0; c < cores; c++ {
+			topo.Attach(c, c%topo.Switches)
+		}
+		pcfg.NoC = &emu.NoCSpec{Topo: topo, Cfg: noc.DefaultConfig(), MemSwitch: topo.Switches - 1}
+	default:
+		return fmt.Errorf("unknown interconnect %q", ic)
+	}
+	if freqMHz > 0 {
+		pcfg.FreqHz = uint64(freqMHz) * 1e6
+	}
+
+	var spec *thermemu.Workload
+	var err error
+	switch workload {
+	case "matrix":
+		spec, err = workloads.Matrix(cores, n, iters, pcfg.PrivKB)
+	case "matrix-tm":
+		pcfg.FreqHz = 500e6 // the Figure 6 operating point
+		spec, err = workloads.MatrixTM(cores, n, iters, pcfg.PrivKB)
+	case "dithering":
+		spec, err = workloads.Dithering(cores, size)
+	default:
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+	if err != nil {
+		return err
+	}
+
+	host, err := thermemu.NewThermalHost(thermemu.FourARM11(), cells)
+	if err != nil {
+		return err
+	}
+	cfg := thermemu.CoEmulationConfig{
+		Platform:         pcfg,
+		Workload:         spec,
+		Host:             host,
+		WindowPs:         uint64(windowMs * 1e9),
+		ThermalTimeScale: tscale,
+	}
+	if withTM {
+		cfg.Policy = tm.NewThresholdDFS()
+	}
+	if hostAddr != "" {
+		tr, err := thermemu.DialThermalHost(hostAddr)
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		cfg.Transport = tr
+		cfg.DrainPhysCycles = 1000
+	}
+
+	var csv *os.File
+	if csvPath != "" {
+		csv, err = os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer csv.Close()
+		fmt.Fprintln(csv, "time_s,cycle,freq_mhz,max_temp_k,total_power_w,throttled")
+	}
+	onSample := func(s core.Sample) {
+		if csv == nil {
+			return
+		}
+		var pw float64
+		for _, w := range s.CompPowerW {
+			pw += w
+		}
+		throttled := 0
+		if s.Throttled {
+			throttled = 1
+		}
+		fmt.Fprintf(csv, "%.6f,%d,%.0f,%.3f,%.4f,%d\n",
+			float64(s.TimePs)*1e-12, s.Cycle, float64(s.FreqHz)/1e6, s.MaxTempK, pw, throttled)
+	}
+
+	res, err := thermemu.RunCoEmulation(cfg, onSample)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload:       %s on %d cores over %s\n", spec.Name, cores, ic)
+	fmt.Printf("cycles:         %d (%.4f s virtual)\n", res.Cycles, res.VirtualS)
+	fmt.Printf("wall time:      %v\n", res.Wall)
+	fmt.Printf("samples:        %d (window %.2f ms)\n", len(res.Samples), windowMs)
+	fmt.Printf("max temp:       %.2f K\n", res.MaxTempK)
+	fmt.Printf("DFS events:     %d\n", res.DFSEvents)
+	if hostAddr != "" {
+		fmt.Printf("link stats:     %d stats frames, %d temps frames, %d congestions\n",
+			res.Congestion.StatsSent, res.Congestion.TempsRecv, res.Congestion.Congestions)
+	}
+	if !res.Done {
+		fmt.Println("note:           run stopped before the workload halted")
+	}
+	if report {
+		fmt.Println()
+		fmt.Println(res.Report)
+	}
+	writeArtifact := func(path string, write func(*os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+		return f.Close()
+	}
+	if err := writeArtifact(vcdPath, func(f *os.File) error {
+		return trace.WriteSamplesVCD(f, host.FP, res.Samples)
+	}); err != nil {
+		return err
+	}
+	return writeArtifact(jsonPath, func(f *os.File) error {
+		return trace.WriteSamplesJSON(f, host.FP, res.Samples)
+	})
+}

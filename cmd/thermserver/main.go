@@ -1,0 +1,75 @@
+// Command thermserver is the host-PC side of the framework: it listens for
+// the device (the FPGA-side emulation, cmd/thermemu with -host) on TCP,
+// receives per-window power statistics as framework MAC frames, integrates
+// the RC thermal model and feeds the new cell temperatures back in real
+// time (Sections 5 and 6 of the paper).
+//
+//	thermserver -listen :9077 -floorplan arm11 -cells 28
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"thermemu"
+	"thermemu/internal/etherlink"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", ":9077", "TCP listen address")
+		plan   = flag.String("floorplan", "arm11", "floorplan: arm7 | arm11")
+		cells  = flag.Int("cells", 28, "thermal cells for the floorplan grid")
+		once   = flag.Bool("once", false, "serve a single connection, then exit")
+	)
+	flag.Parse()
+	if err := run(*listen, *plan, *cells, *once); err != nil {
+		fmt.Fprintln(os.Stderr, "thermserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, plan string, cells int, once bool) error {
+	var fp *thermemu.Floorplan
+	switch plan {
+	case "arm7":
+		fp = thermemu.FourARM7()
+	case "arm11":
+		fp = thermemu.FourARM11()
+	default:
+		return fmt.Errorf("unknown floorplan %q", plan)
+	}
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	fmt.Printf("thermserver: %s floorplan, %d thermal cells, listening on %s\n",
+		fp.Name, cells, l.Addr())
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("thermserver: device connected from %s\n", conn.RemoteAddr())
+		// Fresh thermal state per connection, as the paper launches the
+		// thermal tool per emulation run.
+		host, err := thermemu.NewThermalHost(fp, cells)
+		if err != nil {
+			return err
+		}
+		tr := etherlink.NewTCP(conn, 64)
+		if err := host.Serve(tr); err != nil {
+			fmt.Printf("thermserver: session ended: %v\n", err)
+		} else {
+			fmt.Printf("thermserver: run complete (%.3f s simulated, max %.2f K)\n",
+				host.Model.Time(), host.Model.MaxTemp())
+		}
+		tr.Close()
+		if once {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module thermemu
+
+go 1.22

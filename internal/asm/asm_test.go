@@ -1,0 +1,354 @@
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"thermemu/internal/isa"
+)
+
+// words extracts the instruction words of the section containing addr.
+func words(t *testing.T, im *Image, addr uint32) []uint32 {
+	t.Helper()
+	for _, s := range im.Sections {
+		if addr >= s.Addr && addr < s.Addr+uint32(len(s.Data)) {
+			data := s.Data[addr-s.Addr:]
+			out := make([]uint32, 0, len(data)/4)
+			for i := 0; i+4 <= len(data); i += 4 {
+				out = append(out, binary.LittleEndian.Uint32(data[i:]))
+			}
+			return out
+		}
+	}
+	t.Fatalf("no section contains 0x%x", addr)
+	return nil
+}
+
+func decodeAll(t *testing.T, im *Image, addr uint32, n int) []isa.Instr {
+	t.Helper()
+	ws := words(t, im, addr)
+	if len(ws) < n {
+		t.Fatalf("wanted %d instructions, section has %d words", n, len(ws))
+	}
+	out := make([]isa.Instr, n)
+	for i := 0; i < n; i++ {
+		out[i] = isa.Decode(ws[i])
+	}
+	return out
+}
+
+func TestBasicInstructions(t *testing.T) {
+	im, err := Assemble(`
+		addi r1, r0, 42     ; set r1
+		add  r2, r1, r1
+		lw   r3, 8(r2)
+		sw   r3, -4(r2)
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := decodeAll(t, im, 0, 5)
+	want := []isa.Instr{
+		{Op: isa.OpAddi, Rd: 1, Imm: 42},
+		{Op: isa.OpRType, Funct: isa.FnAdd, Rd: 2, Rs1: 1, Rs2: 1},
+		{Op: isa.OpLw, Rd: 3, Rs1: 2, Imm: 8},
+		{Op: isa.OpSw, Rd: 3, Rs1: 2, Imm: -4},
+		{Op: isa.OpHalt},
+	}
+	for i := range want {
+		if ins[i] != want[i] {
+			t.Errorf("instr %d: got %v want %v", i, ins[i], want[i])
+		}
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	im, err := Assemble(`
+	start:
+		addi r1, r0, 10
+	loop:
+		subi r1, r1, 1
+		bne  r1, r0, loop
+		b    start
+		jal  loop
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := decodeAll(t, im, 0, 5)
+	if ins[2].Op != isa.OpBne || ins[2].Imm != -2 {
+		t.Errorf("bne loop: got %v, want offset -2", ins[2])
+	}
+	if ins[3].Op != isa.OpBeq || ins[3].Imm != -4 {
+		t.Errorf("b start: got %v, want beq offset -4", ins[3])
+	}
+	if ins[4].Op != isa.OpJal || ins[4].Imm != -4 {
+		t.Errorf("jal loop: got %v, want offset -4", ins[4])
+	}
+}
+
+func TestForwardReferences(t *testing.T) {
+	im, err := Assemble(`
+		beq r0, r0, done
+		nop
+		nop
+	done:
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := decodeAll(t, im, 0, 1)
+	if ins[0].Imm != 2 {
+		t.Errorf("forward branch offset: got %d want 2", ins[0].Imm)
+	}
+}
+
+func TestLiExpansion(t *testing.T) {
+	im, err := Assemble(`
+		li r5, 0xDEADBEEF
+		li r6, 7
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := decodeAll(t, im, 0, 4)
+	if ins[0].Op != isa.OpLui || uint32(ins[0].Imm) != 0xDEAD {
+		t.Errorf("li hi: got %v", ins[0])
+	}
+	if ins[1].Op != isa.OpOri || uint32(ins[1].Imm) != 0xBEEF || ins[1].Rs1 != 5 {
+		t.Errorf("li lo: got %v", ins[1])
+	}
+	if ins[2].Op != isa.OpLui || ins[2].Imm != 0 {
+		t.Errorf("small li hi: got %v", ins[2])
+	}
+}
+
+func TestDirectivesAndSections(t *testing.T) {
+	im, err := Assemble(`
+		.equ BASE, 0x1000
+		addi r1, r0, BASE - 0x1000 + 5
+		halt
+		.org BASE
+	data:
+		.word 1, 2, 3
+		.byte 0xAA
+		.align 4
+		.word 0x11223344
+		.space 8
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := decodeAll(t, im, 0, 1)
+	if ins[0].Imm != 5 {
+		t.Errorf("expression: got %d want 5", ins[0].Imm)
+	}
+	ws := words(t, im, 0x1000)
+	if ws[0] != 1 || ws[1] != 2 || ws[2] != 3 {
+		t.Errorf("data words: got %v", ws[:3])
+	}
+	if ws[3]&0xFF != 0xAA {
+		t.Errorf(".byte: got %#x", ws[3])
+	}
+	if ws[4] != 0x11223344 {
+		t.Errorf(".align/.word: got %#x", ws[4])
+	}
+	if got := im.Symbols["data"]; got != 0x1000 {
+		t.Errorf("symbol data = %#x, want 0x1000", got)
+	}
+	if im.End() != 0x1000+3*4+1+3+4+8 {
+		t.Errorf("End() = %#x", im.End())
+	}
+}
+
+func TestEntryPoint(t *testing.T) {
+	im, err := Assemble(`
+		.org 0x200
+		addi r1, r0, 1
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Entry != 0x200 {
+		t.Errorf("entry = %#x, want 0x200", im.Entry)
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	im, err := Assemble(`
+		nop
+		mv  r2, r3
+		inc r4
+		dec r5
+		ret
+		bgt r1, r2, 0x20
+		ble r1, r2, 0x20
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := decodeAll(t, im, 0, 7)
+	if ins[0] != (isa.Instr{Op: isa.OpAddi}) {
+		t.Errorf("nop: got %v", ins[0])
+	}
+	if ins[1].Op != isa.OpAddi || ins[1].Rd != 2 || ins[1].Rs1 != 3 {
+		t.Errorf("mv: got %v", ins[1])
+	}
+	if ins[2].Imm != 1 || ins[3].Imm != -1 {
+		t.Errorf("inc/dec: got %v %v", ins[2], ins[3])
+	}
+	if ins[4].Op != isa.OpJalr || ins[4].Rs1 != isa.LinkReg {
+		t.Errorf("ret: got %v", ins[4])
+	}
+	if ins[5].Op != isa.OpBlt || ins[5].Rs1 != 2 || ins[5].Rs2 != 1 {
+		t.Errorf("bgt: got %v", ins[5])
+	}
+	if ins[6].Op != isa.OpBge || ins[6].Rs1 != 2 || ins[6].Rs2 != 1 {
+		t.Errorf("ble: got %v", ins[6])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"bogus r1, r2", "unknown mnemonic"},
+		{"addi r1, r0", "expects 3 operands"},
+		{"addi r99, r0, 1", "invalid register"},
+		{"lw r1, 4(r2", "malformed memory operand"},
+		{"beq r0, r0, nowhere", "undefined symbol"},
+		{"x: \n x: halt", "duplicate symbol"},
+		{".org 3\nhalt", "unaligned"},
+		{".align 3", "power of two"},
+		{".frob 1", "unknown directive"},
+		{"addi r1, r0, 0x10000", "out of signed 16-bit range"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("Assemble(%q): expected error containing %q, got nil", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Assemble(%q): error %q does not contain %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestErrorCarriesLineNumber(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbogus\n")
+	ae, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if ae.Line != 3 {
+		t.Errorf("line = %d, want 3", ae.Line)
+	}
+}
+
+func TestCharLiteralAndHex(t *testing.T) {
+	im, err := Assemble(`
+		addi r1, r0, 'A'
+		addi r2, r0, 0x7F
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := decodeAll(t, im, 0, 2)
+	if ins[0].Imm != 'A' || ins[1].Imm != 0x7F {
+		t.Errorf("literals: got %d %d", ins[0].Imm, ins[1].Imm)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("bogus")
+}
+
+func TestAsciiDirectives(t *testing.T) {
+	im, err := Assemble(`
+		.org 0x100
+	msg:
+		.asciz "Hi\n"
+		.ascii "AB"
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data []byte
+	for _, s := range im.Sections {
+		if s.Addr == 0x100 {
+			data = s.Data
+		}
+	}
+	want := []byte{'H', 'i', '\n', 0, 'A', 'B'}
+	if len(data) != len(want) {
+		t.Fatalf("data = %v", data)
+	}
+	for i := range want {
+		if data[i] != want[i] {
+			t.Fatalf("byte %d = %#x, want %#x", i, data[i], want[i])
+		}
+	}
+	// Escapes and errors.
+	if _, err := Assemble(`.ascii "a\q"`); err == nil {
+		t.Error("unknown escape accepted")
+	}
+	if _, err := Assemble(`.ascii abc`); err == nil {
+		t.Error("unquoted string accepted")
+	}
+}
+
+// Property: the expression evaluator agrees with Go arithmetic on random
+// +/- chains of literals.
+func TestExpressionEvaluatorQuick(t *testing.T) {
+	f := func(terms []int16) bool {
+		if len(terms) == 0 {
+			return true
+		}
+		if len(terms) > 8 {
+			terms = terms[:8]
+		}
+		expr := ""
+		var want int64
+		for i, v := range terms {
+			abs := int64(v)
+			if abs < 0 {
+				abs = -abs
+			}
+			if i == 0 {
+				expr = fmt.Sprintf("%d", abs)
+				want = abs
+			} else if v < 0 {
+				expr += fmt.Sprintf(" - %d", abs)
+				want -= abs
+			} else {
+				expr += fmt.Sprintf(" + %d", abs)
+				want += abs
+			}
+		}
+		src := fmt.Sprintf(".equ X, %s\n.word X\n", expr)
+		im, err := Assemble(src)
+		if err != nil {
+			t.Logf("assemble %q: %v", expr, err)
+			return false
+		}
+		got := binary.LittleEndian.Uint32(im.Sections[0].Data)
+		return got == uint32(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"thermemu/internal/emu"
+	"thermemu/internal/etherlink"
+	"thermemu/internal/power"
+	"thermemu/internal/thermal"
+	"thermemu/internal/tm"
+	"thermemu/internal/vpcm"
+	"thermemu/internal/workloads"
+)
+
+// Config describes one co-emulation run.
+type Config struct {
+	Platform emu.Config
+	Workload *workloads.Spec
+	// Floorplan-derived thermal host. In in-process mode it is stepped
+	// directly; in transport mode it only provides the component count and
+	// geometry while the remote host owns the thermal state.
+	Host *ThermalHost
+	// WindowPs is the statistics sampling period in virtual picoseconds
+	// (the paper uses 10 ms).
+	WindowPs uint64
+	// Policy is the run-time thermal-management policy (nil = none).
+	Policy tm.Policy
+	// Sensor models the physical temperature sensors feeding the VPCM
+	// (quantisation/offset); the zero value is an ideal sensor.
+	Sensor tm.SensorModel
+	// Leakage, when non-nil, adds temperature-dependent static power
+	// (future-node exploration; the paper ignores leakage at 130 nm).
+	Leakage *power.LeakageModel
+	// DVFS, when non-nil, applies voltage scaling on top of frequency
+	// scaling at the curve's operating points.
+	DVFS power.DVFSCurve
+	// Transport, when non-nil, routes the power/temperature exchange over
+	// the Ethernet link instead of direct calls; the peer must run
+	// ThermalHost.Serve. DrainPhysCycles models the congestion penalty.
+	Transport       etherlink.Transport
+	DrainPhysCycles uint64
+	// MaxCycles bounds the run (0 = until the workload halts, with a large
+	// safety cap).
+	MaxCycles uint64
+	// ThermalTimeScale multiplies the thermal integration time of every
+	// window (default 1). The paper runs minutes of emulation to cover the
+	// seconds-scale thermal transients; this knob compresses the thermal
+	// trajectory so short emulations exhibit the same heating/TM dynamics.
+	// It affects only the thermal axis, never the cycle-accurate platform.
+	ThermalTimeScale float64
+}
+
+// Sample is one closed-loop observation: the end of one sampling window.
+type Sample struct {
+	Cycle      uint64
+	TimePs     uint64
+	FreqHz     uint64
+	CompPowerW []float64
+	CellTempK  []float64
+	CompTempK  []float64
+	MaxTempK   float64
+	Throttled  bool // true while the policy holds a reduced frequency
+}
+
+// Result summarises a finished co-emulation.
+type Result struct {
+	Samples    []Sample
+	Cycles     uint64
+	VirtualS   float64
+	Wall       time.Duration
+	Done       bool
+	DFSEvents  int
+	MaxTempK   float64
+	FinalSnap  emu.Snapshot
+	Congestion etherlink.DispatcherStats
+	// Report is the platform's detailed statistics report at run end.
+	Report string
+}
+
+// DefaultWindowPs is the paper's 10 ms sampling period.
+const DefaultWindowPs = 10_000_000_000
+
+// Fig6Config builds the Figure 6 experiment: the Fig6 platform (4 RISC-32
+// cores, 8 kB DM caches, 32 kB private + 32 kB shared memories, 4-switch
+// NoC at 500 MHz), the Matrix-TM workload, the 4×ARM11 floorplan gridded
+// into 28 thermal cells, and — when withTM is set — the 350 K/340 K
+// threshold DFS policy.
+func Fig6Config(iters int, withTM bool) (Config, error) {
+	pcfg := emu.Fig6Config()
+	spec, err := workloads.MatrixTM(4, 16, iters, pcfg.PrivKB)
+	if err != nil {
+		return Config{}, err
+	}
+	host, err := NewThermalHost(fig6Floorplan(), 28, thermal.DefaultOptions())
+	if err != nil {
+		return Config{}, err
+	}
+	cfg := Config{
+		Platform: pcfg,
+		Workload: spec,
+		Host:     host,
+		WindowPs: DefaultWindowPs,
+	}
+	if withTM {
+		cfg.Policy = tm.NewThresholdDFS()
+	}
+	return cfg, nil
+}
+
+// Run executes the co-emulation loop. onSample, when non-nil, receives
+// every sample as it is produced (e.g. for CSV streaming).
+func Run(cfg Config, onSample func(Sample)) (*Result, error) {
+	if cfg.Workload == nil || cfg.Host == nil {
+		return nil, fmt.Errorf("core: workload and host are required")
+	}
+	if cfg.WindowPs == 0 {
+		cfg.WindowPs = DefaultWindowPs
+	}
+	p, err := emu.New(cfg.Platform)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.Workload.Programs) != len(p.Cores) {
+		return nil, fmt.Errorf("core: workload has %d programs for %d cores",
+			len(cfg.Workload.Programs), len(p.Cores))
+	}
+	for i, im := range cfg.Workload.Programs {
+		if err := p.LoadProgram(i, im); err != nil {
+			return nil, err
+		}
+	}
+	for _, b := range cfg.Workload.Shared {
+		p.WriteShared(b.Addr, b.Data)
+	}
+
+	eval := NewPowerEvaluator(cfg.Host.FP)
+	eval.Leakage = cfg.Leakage
+	eval.DVFS = cfg.DVFS
+	var disp *etherlink.Dispatcher
+	if cfg.Transport != nil {
+		disp = etherlink.NewDispatcher(cfg.Transport, p.VPCM, cfg.DrainPhysCycles)
+		if err := disp.SendCtrl(etherlink.CtrlStart, uint64(cfg.Host.NumComponents())); err != nil {
+			return nil, err
+		}
+		if cfg.Platform.EventLogging {
+			// Event-logging sniffers drain through the link; when the BRAM
+			// ring fills mid-window the dispatcher pumps it out (freezing
+			// the virtual clock on congestion, per Section 4.2).
+			p.OnBufferFull = func() bool {
+				_, err := disp.PumpEvents(p.Ring)
+				return err == nil
+			}
+		}
+	}
+
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 1 << 62
+	}
+	tscale := cfg.ThermalTimeScale
+	if tscale <= 0 {
+		tscale = 1
+	}
+	res := &Result{}
+	start := time.Now()
+	prev := p.Snapshot()
+	powers := make([]float64, cfg.Host.NumComponents())
+	powerUW := make([]uint32, cfg.Host.NumComponents())
+
+	for !p.AllHalted() && p.VPCM.Cycle() < maxCycles {
+		// One sampling window at the current virtual frequency.
+		period := uint64(1e12) / p.VPCM.Frequency()
+		n := cfg.WindowPs / period
+		if n == 0 {
+			n = 1
+		}
+		if left := maxCycles - p.VPCM.Cycle(); n > left {
+			n = left
+		}
+		p.Step(n)
+		if err := p.Fault(); err != nil {
+			return nil, err
+		}
+		snap := p.Snapshot()
+		if disp != nil && cfg.Platform.EventLogging {
+			if _, err := disp.PumpEvents(p.Ring); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := eval.Powers(prev, snap, powers); err != nil {
+			return nil, err
+		}
+		windowPs := uint64(float64(snap.TimePs-prev.TimePs) * tscale)
+		prev = snap
+
+		var cellTemps []float64
+		if disp != nil {
+			for i, w := range powers {
+				powerUW[i] = uint32(w*1e6 + 0.5)
+			}
+			if err := disp.SendStats(&etherlink.Stats{
+				Cycle: snap.Cycle, WindowPs: windowPs, PowerUW: powerUW,
+			}); err != nil {
+				return nil, err
+			}
+			temps, err := disp.RecvTemps(nil)
+			if err != nil {
+				return nil, err
+			}
+			cellTemps = make([]float64, len(temps.MilliK))
+			for i := range temps.MilliK {
+				cellTemps[i] = temps.Kelvin(i)
+			}
+		} else {
+			cellTemps, err = cfg.Host.StepWindow(powers, float64(windowPs)*1e-12)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		compTemps := cfg.Host.ComponentTemps(cellTemps)
+		eval.SetComponentTemps(compTemps)
+		sample := Sample{
+			Cycle:      snap.Cycle,
+			TimePs:     snap.TimePs,
+			FreqHz:     snap.FreqHz,
+			CompPowerW: append([]float64(nil), powers...),
+			CellTempK:  cellTemps,
+			CompTempK:  compTemps,
+		}
+		for _, t := range cellTemps {
+			if t > sample.MaxTempK {
+				sample.MaxTempK = t
+			}
+		}
+		if sample.MaxTempK > res.MaxTempK {
+			res.MaxTempK = sample.MaxTempK
+		}
+
+		// Temperature sensors -> VPCM -> policy (DFS).
+		if cfg.Policy != nil {
+			sensors := make([]tm.Sensor, len(compTemps))
+			for i := range compTemps {
+				sensors[i] = tm.Sensor{Name: cfg.Host.FP.Components[i].Name,
+					TempK: cfg.Sensor.Read(compTemps[i])}
+			}
+			action := cfg.Policy.Update(sensors)
+			if action.SetFreqHz != 0 {
+				p.VPCM.SetFrequency(action.SetFreqHz)
+			}
+			if th, ok := cfg.Policy.(*tm.ThresholdDFS); ok {
+				sample.Throttled = th.Throttled()
+			}
+		}
+
+		res.Samples = append(res.Samples, sample)
+		if onSample != nil {
+			onSample(sample)
+		}
+	}
+
+	if disp != nil {
+		if err := disp.SendCtrl(etherlink.CtrlStop, p.VPCM.Cycle()); err != nil {
+			return nil, err
+		}
+		res.Congestion = disp.Stats()
+	}
+	res.Cycles = p.VPCM.Cycle()
+	res.VirtualS = p.VPCM.Time()
+	res.Wall = time.Since(start)
+	res.Done = p.AllHalted()
+	res.DFSEvents = p.VPCM.DFSEvents()
+	res.FinalSnap = p.Snapshot()
+	res.Report = p.Report()
+
+	if res.Done && cfg.Workload.Verify != nil {
+		if err := cfg.Workload.Verify(p.ReadSharedWord); err != nil {
+			return res, fmt.Errorf("core: workload verification: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// FreqHistory exposes the VPCM DFS trace of a finished platform run; the
+// co-emulator records frequencies per sample, which is usually enough, but
+// detailed traces can be taken from the platform directly.
+type FreqHistory = vpcm.FreqChange

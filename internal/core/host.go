@@ -1,0 +1,149 @@
+// Package core implements the paper's primary contribution: the closed
+// HW/SW co-emulation loop of Figure 5. The emulated MPSoC runs a workload
+// while count-logging sniffers accumulate statistics; every sampling window
+// the statistics are converted to per-component power values and sent (as
+// framework MAC frames, or by direct call in in-process mode) to the SW
+// thermal library, which integrates the RC network and feeds the new cell
+// temperatures back; the temperature sensors then drive the run-time
+// thermal-management policy, which programs the VPCM (e.g. DFS between
+// 500 MHz and 100 MHz).
+package core
+
+import (
+	"fmt"
+
+	"thermemu/internal/etherlink"
+	"thermemu/internal/floorplan"
+	"thermemu/internal/sniffer"
+	"thermemu/internal/thermal"
+)
+
+// fig6Floorplan is the die of the Figure 6 thermal experiment: four ARM11
+// cores at 500 MHz (floorplan (b) of Figure 4).
+func fig6Floorplan() *floorplan.Floorplan { return floorplan.FourARM11() }
+
+// ThermalHost is the host-PC side of the framework: the floorplan-aware
+// wrapper around the RC thermal model. Both endpoints construct the same
+// geometry deterministically; only the thermal state lives on the host.
+type ThermalHost struct {
+	FP      *floorplan.Floorplan
+	SiCells []thermal.Rect
+	Model   *thermal.Model
+	pm      *floorplan.PowerMap
+	cellPw  []float64
+
+	// EventsReceived counts exhaustively-logged events received over the
+	// link (MsgEvents frames); OnEvents, when set, receives each batch.
+	EventsReceived uint64
+	OnEvents       func([]sniffer.Event)
+}
+
+// NewThermalHost grids the floorplan into about targetCells thermal cells
+// (multi-resolution, refined over the high-power-density components) plus a
+// coarser copper-spreader grid, and builds the RC model.
+func NewThermalHost(fp *floorplan.Floorplan, targetCells int, opt thermal.Options) (*ThermalHost, error) {
+	if err := fp.Validate(); err != nil {
+		return nil, err
+	}
+	si := fp.GridTargetCells(targetCells)
+	cuN := 3
+	cu := thermal.UniformGrid(fp.DieW, fp.DieH, cuN, cuN)
+	model, err := thermal.NewModel(si, cu, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &ThermalHost{
+		FP:      fp,
+		SiCells: si,
+		Model:   model,
+		pm:      floorplan.NewPowerMap(fp, si),
+		cellPw:  make([]float64, len(si)),
+	}, nil
+}
+
+// NumComponents returns the floorplan component count (the length of the
+// power vectors the host expects).
+func (h *ThermalHost) NumComponents() int { return len(h.FP.Components) }
+
+// StepWindow injects one window of per-component power (watts) and
+// integrates the thermal model over dt seconds. It returns the new
+// bottom-surface cell temperatures.
+func (h *ThermalHost) StepWindow(compPowerW []float64, dt float64) ([]float64, error) {
+	if len(compPowerW) != len(h.FP.Components) {
+		return nil, fmt.Errorf("core: power vector has %d entries, floorplan has %d components",
+			len(compPowerW), len(h.FP.Components))
+	}
+	h.pm.CellPowers(compPowerW, h.cellPw)
+	if err := h.Model.SetPowers(h.cellPw); err != nil {
+		return nil, err
+	}
+	h.Model.Step(dt)
+	return h.Model.Temps(), nil
+}
+
+// ComponentTemps converts per-cell temperatures into per-component sensor
+// readings (area-weighted over the covering cells).
+func (h *ThermalHost) ComponentTemps(cellTemps []float64) []float64 {
+	out := make([]float64, len(h.FP.Components))
+	for i := range h.FP.Components {
+		out[i] = floorplan.ComponentTemp(h.FP, h.SiCells, cellTemps, i)
+	}
+	return out
+}
+
+// Serve runs the host side of the Ethernet protocol on a transport: it
+// answers every statistics frame with a temperature frame until a CtrlStop
+// arrives or the transport closes. This is what cmd/thermserver runs on a
+// TCP listener.
+func (h *ThermalHost) Serve(tr etherlink.Transport) error {
+	ep := etherlink.NewEndpoint(tr, etherlink.HostMAC, etherlink.DeviceMAC)
+	for {
+		f, err := ep.Recv()
+		if err != nil {
+			return err
+		}
+		switch f.Type {
+		case etherlink.MsgCtrl:
+			c, err := etherlink.UnmarshalCtrl(f.Payload)
+			if err != nil {
+				return err
+			}
+			switch c.Op {
+			case etherlink.CtrlStart:
+				if int(c.Arg) != h.NumComponents() {
+					return fmt.Errorf("core: device announces %d components, host floorplan has %d",
+						c.Arg, h.NumComponents())
+				}
+				h.Model.Reset()
+			case etherlink.CtrlStop:
+				return nil
+			}
+		case etherlink.MsgEvents:
+			evs, err := etherlink.UnmarshalEvents(f.Payload)
+			if err != nil {
+				return err
+			}
+			h.EventsReceived += uint64(len(evs.Entries))
+			if h.OnEvents != nil {
+				h.OnEvents(evs.Entries)
+			}
+		case etherlink.MsgStats:
+			s, err := etherlink.UnmarshalStats(f.Payload)
+			if err != nil {
+				return err
+			}
+			pw := make([]float64, len(s.PowerUW))
+			for i, uw := range s.PowerUW {
+				pw[i] = float64(uw) * 1e-6
+			}
+			temps, err := h.StepWindow(pw, float64(s.WindowPs)*1e-12)
+			if err != nil {
+				return err
+			}
+			reply := etherlink.TempsFromKelvin(uint64(h.Model.Time()*1e12), temps)
+			if err := ep.Send(etherlink.MsgTemp, reply.MarshalPayload()); err != nil {
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"thermemu/internal/emu"
+	"thermemu/internal/floorplan"
+	"thermemu/internal/power"
+)
+
+// PowerEvaluator converts the sniffer statistics of one sampling window
+// (the difference of two platform snapshots) into the per-component power
+// vector of the floorplan, using the activity-based models of Table 1:
+//
+//   - cores:       fraction of cycles in active mode;
+//   - caches:      accesses per cycle (at most one per cycle);
+//   - private mem: controller private-range references per cycle;
+//   - shared mem:  shared-range references per cycle, summed over cores;
+//   - NoC switch:  flits per cycle, split across switches;
+//   - bus:         beats carried per cycle.
+//
+// Power scales linearly with the current virtual clock frequency, so DFS
+// actions are immediately visible in the next window's power.
+type PowerEvaluator struct {
+	fp       *floorplan.Floorplan
+	switches int
+	// Leakage, when non-nil, adds temperature-dependent static power per
+	// component, evaluated at the previous window's component temperatures
+	// (the leakage-thermal feedback loop the paper cites as decisive for
+	// future technology nodes).
+	Leakage *power.LeakageModel
+	// DVFS, when non-nil, applies quadratic voltage scaling on top of the
+	// linear frequency scaling, per the operating-point curve.
+	DVFS power.DVFSCurve
+	// lastTemps holds the previous window's component temperatures for the
+	// leakage evaluation (ambient before the first window).
+	lastTemps []float64
+}
+
+// NewPowerEvaluator builds an evaluator for the floorplan. The platform
+// configuration only matters for the switch count, taken from the
+// floorplan itself.
+func NewPowerEvaluator(fp *floorplan.Floorplan) *PowerEvaluator {
+	sw := 0
+	for _, c := range fp.Components {
+		if c.Kind == floorplan.KindNoCSwitch {
+			sw++
+		}
+	}
+	return &PowerEvaluator{fp: fp, switches: sw}
+}
+
+// SetComponentTemps feeds back the latest per-component temperatures for
+// the leakage evaluation of the next window.
+func (e *PowerEvaluator) SetComponentTemps(tempsK []float64) {
+	e.lastTemps = tempsK
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Powers evaluates the window between two snapshots. out, if non-nil, is
+// reused; the returned slice is indexed like fp.Components. Floorplan
+// components belonging to cores the platform does not instantiate evaluate
+// to zero power (dark silicon).
+func (e *PowerEvaluator) Powers(prev, cur emu.Snapshot, out []float64) ([]float64, error) {
+	if out == nil {
+		out = make([]float64, len(e.fp.Components))
+	}
+	dc := cur.Cycle - prev.Cycle
+	if dc == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return out, nil
+	}
+	freq := float64(cur.FreqHz)
+	window := float64(dc)
+	for i, comp := range e.fp.Components {
+		var activity float64
+		switch comp.Kind {
+		case floorplan.KindCore:
+			if comp.CoreID >= len(cur.Cores) {
+				// A die may have more cores than the emulated platform
+				// instantiates (e.g. a 2-core configuration on the 4-core
+				// floorplan); the unused cores sit dark.
+				break
+			}
+			activity = float64(cur.Cores[comp.CoreID].ActiveCycles-prev.Cores[comp.CoreID].ActiveCycles) / window
+		case floorplan.KindICache:
+			if comp.CoreID >= len(cur.ICaches) {
+				break
+			}
+			activity = float64(cur.ICaches[comp.CoreID].Accesses()-prev.ICaches[comp.CoreID].Accesses()) / window
+		case floorplan.KindDCache:
+			if comp.CoreID >= len(cur.DCaches) {
+				break
+			}
+			activity = float64(cur.DCaches[comp.CoreID].Accesses()-prev.DCaches[comp.CoreID].Accesses()) / window
+		case floorplan.KindPrivMem:
+			if comp.CoreID >= len(cur.Ctrls) {
+				break
+			}
+			c, p := cur.Ctrls[comp.CoreID], prev.Ctrls[comp.CoreID]
+			refs := (c.PrivateReads + c.PrivateWrits + c.Fetches) - (p.PrivateReads + p.PrivateWrits + p.Fetches)
+			activity = float64(refs) / window
+		case floorplan.KindSharedMem:
+			var refs uint64
+			for ci := range cur.Ctrls {
+				refs += (cur.Ctrls[ci].SharedReads + cur.Ctrls[ci].SharedWrits) -
+					(prev.Ctrls[ci].SharedReads + prev.Ctrls[ci].SharedWrits)
+			}
+			activity = float64(refs) / window
+		case floorplan.KindNoCSwitch:
+			if cur.Noc != nil && e.switches > 0 {
+				flits := cur.Noc.Flits - prev.Noc.Flits
+				activity = float64(flits) / (window * float64(e.switches))
+			}
+		case floorplan.KindBus:
+			if cur.Bus != nil {
+				beats := cur.Bus.BeatsCarried - prev.Bus.BeatsCarried
+				activity = float64(beats) / window
+			}
+		}
+		if e.DVFS != nil {
+			out[i] = comp.Model.PowerDVFS(clamp01(activity), freq, e.DVFS)
+		} else {
+			out[i] = comp.Model.Power(clamp01(activity), freq)
+		}
+		if e.Leakage != nil {
+			t := 300.0
+			if i < len(e.lastTemps) {
+				t = e.lastTemps[i]
+			}
+			out[i] += e.Leakage.Power(comp.Model, t)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,576 @@
+// Package emu composes the emulated MPSoC platform of Section 3: processing
+// cores, per-core memory controllers with configurable I/D caches, private
+// memories, one shared main memory reached through a configurable
+// interconnect (OPB/PLB/custom bus or an Xpipes-style NoC), the statistics
+// extraction subsystem, and the VPCM virtual clock.
+//
+// The platform's fast kernel stands in for the FPGA fabric: every emulated
+// cycle is a direct-dispatch step over the cores, and all statistics are
+// O(1) counters, so — like the HW emulator of the paper — adding monitored
+// components costs essentially nothing. Contrast with package mparm, which
+// wraps the same platform in a signal-level evaluate/update kernel to model
+// a cycle-accurate SW simulator.
+package emu
+
+import (
+	"fmt"
+	"sync"
+
+	"thermemu/internal/asm"
+	"thermemu/internal/bus"
+	"thermemu/internal/cpu"
+	"thermemu/internal/mem"
+	"thermemu/internal/noc"
+	"thermemu/internal/sniffer"
+	"thermemu/internal/vpcm"
+)
+
+// Address-map constants of the emulated platform. The memory controller
+// routes each range per Section 3.2; the sniffer control registers are
+// memory-mapped so emulated software can toggle sniffers (Section 4.1).
+const (
+	PrivBase    = 0x0000_0000
+	ScratchBase = 0x0800_0000
+	SharedBase  = 0x1000_0000
+	BarrierBase = 0x2000_0000
+	SniffBase   = 0x2100_0000
+	InfoBase    = 0x2200_0000
+)
+
+// ICKind selects the interconnect family.
+type ICKind int
+
+// Interconnect kinds.
+const (
+	ICBusOPB ICKind = iota
+	ICBusPLB
+	ICBusCustom
+	ICNoC
+)
+
+// String returns the kind name.
+func (k ICKind) String() string {
+	switch k {
+	case ICBusOPB:
+		return "opb"
+	case ICBusPLB:
+		return "plb"
+	case ICBusCustom:
+		return "custom-bus"
+	case ICNoC:
+		return "noc"
+	}
+	return fmt.Sprintf("ic(%d)", int(k))
+}
+
+// NoCSpec instantiates an Xpipes-style NoC for the platform.
+type NoCSpec struct {
+	Topo      *noc.Topology
+	Cfg       noc.Config
+	MemSwitch int // switch hosting the shared memory's network interface
+}
+
+// Table3NoC returns the NoC of the paper's Table 3 exploration: two 32-bit
+// switches with four I/O channels and 3-flit buffers; cores attach two per
+// switch and the shared memory sits on switch 1.
+func Table3NoC(cores int) *NoCSpec {
+	topo := &noc.Topology{Name: "table3-2sw", Switches: 2,
+		Links:           []noc.Link{{From: 0, To: 1}, {From: 1, To: 0}},
+		InitiatorSwitch: map[int]int{}}
+	for c := 0; c < cores; c++ {
+		topo.Attach(c, c%2)
+	}
+	return &NoCSpec{Topo: topo, Cfg: noc.DefaultConfig(), MemSwitch: 1}
+}
+
+// Fig6NoC returns the NoC of the Figure 6 thermal experiment: four switches
+// in a ring, one core per switch, shared memory on switch 0.
+func Fig6NoC(cores int) *NoCSpec {
+	topo := noc.Ring(4)
+	for c := 0; c < cores; c++ {
+		topo.Attach(c, c%4)
+	}
+	return &NoCSpec{Topo: topo, Cfg: noc.DefaultConfig(), MemSwitch: 0}
+}
+
+// Config parameterises a platform instance.
+type Config struct {
+	Cores    int
+	CoreKind cpu.Kind
+	// CoreKinds optionally overrides CoreKind per core, for heterogeneous
+	// platforms like the paper's Table 3 design (one PowerPC405 hard-core
+	// plus three Microblaze soft-cores). Entries beyond its length use
+	// CoreKind.
+	CoreKinds []cpu.Kind
+	FreqHz    uint64 // virtual platform clock
+	PhysHz    uint64 // FPGA oscillator (paper: 100 MHz)
+
+	ICache *mem.CacheConfig // nil = uncached fetch path
+	DCache *mem.CacheConfig // nil = uncached data path
+	// L2 interposes a per-core second cache level on the shared-memory
+	// path (between the L1s and the interconnect), per the paper's
+	// "additional cache levels ... added in few minutes".
+	L2 *mem.CacheConfig
+	// ScratchKB adds a per-core software-managed scratchpad at
+	// ScratchBase (0 = none).
+	ScratchKB int
+
+	PrivKB          int
+	PrivLatency     uint64
+	PrivPhysLatency uint64 // backing-device latency (BRAM = same, DDR = higher)
+
+	SharedKB          int
+	SharedLatency     uint64
+	SharedPhysLatency uint64
+	SharedCacheable   bool
+
+	IC  ICKind
+	Bus *bus.Config // overrides the preset when non-nil (ICBus* only)
+	NoC *NoCSpec    // required for ICNoC
+
+	EventLogging bool // attach event-logging sniffers to the controllers
+	EventBufCap  int  // BRAM ring capacity (events)
+
+	// Parallel builds the platform for chunk-synchronised multi-threaded
+	// stepping (RunParallel): per-core resources stay lock-free and the
+	// shared memory path, interconnect and devices are serialised by a
+	// mutex. This is the software analogue of the FPGA's spatial
+	// parallelism — on a multi-core host the emulator's wall time stays
+	// nearly flat as emulated cores are added, like the paper's hardware.
+	// Interleaving of shared accesses (and hence contention timing) is not
+	// bit-reproducible run to run; functional results remain exact.
+	// Incompatible with EventLogging.
+	Parallel bool
+}
+
+// DefaultConfig mirrors the Table 3 exploration platform: N cores with 4 KB
+// I/D caches, 16 KB private memory each, a 1 MB shared main memory and the
+// OPB bus, clocked at 100 MHz. Use Table3Cores for the paper's exact
+// heterogeneous core mix.
+func DefaultConfig(cores int) Config {
+	ic := &mem.CacheConfig{Name: "icache", SizeBytes: 4 * 1024, LineBytes: 16, Assoc: 1, HitLatency: 0}
+	dc := &mem.CacheConfig{Name: "dcache", SizeBytes: 4 * 1024, LineBytes: 16, Assoc: 2, HitLatency: 0}
+	return Config{
+		Cores: cores, CoreKind: cpu.Microblaze,
+		FreqHz: 100e6, PhysHz: 100e6,
+		ICache: ic, DCache: dc,
+		PrivKB: 64, PrivLatency: 1, PrivPhysLatency: 1,
+		SharedKB: 1024, SharedLatency: 6, SharedPhysLatency: 6,
+		IC:          ICBusOPB,
+		EventBufCap: 4096,
+	}
+}
+
+// Table3Cores returns the paper's Table 3 core mix for n cores: one
+// PowerPC405 hard-core and n-1 Microblaze soft-cores.
+func Table3Cores(n int) []cpu.Kind {
+	kinds := make([]cpu.Kind, n)
+	kinds[0] = cpu.PPC405
+	for i := 1; i < n; i++ {
+		kinds[i] = cpu.Microblaze
+	}
+	return kinds
+}
+
+// Fig6Config mirrors the Figure 6 thermal system: four RISC-32 cores with
+// 8 kB direct-mapped I/D caches, 32 kB cacheable private memories, a 32 kB
+// shared memory and a four-switch NoC, emulated at 500 MHz on the 100 MHz
+// fabric.
+func Fig6Config() Config {
+	cfg := DefaultConfig(4)
+	cfg.FreqHz = 500e6
+	cfg.ICache = &mem.CacheConfig{Name: "icache", SizeBytes: 8 * 1024, LineBytes: 16, Assoc: 1, HitLatency: 0}
+	cfg.DCache = &mem.CacheConfig{Name: "dcache", SizeBytes: 8 * 1024, LineBytes: 16, Assoc: 1, HitLatency: 0}
+	cfg.PrivKB = 32
+	cfg.SharedKB = 32
+	cfg.IC = ICNoC
+	cfg.NoC = Fig6NoC(4)
+	return cfg
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("emu: need at least one core")
+	}
+	if c.FreqHz == 0 || c.PhysHz == 0 {
+		return fmt.Errorf("emu: frequencies must be positive")
+	}
+	if c.PrivKB <= 0 || c.SharedKB <= 0 {
+		return fmt.Errorf("emu: memory sizes must be positive")
+	}
+	if c.IC == ICNoC && c.NoC == nil {
+		return fmt.Errorf("emu: NoC interconnect requires a NoCSpec")
+	}
+	if c.Parallel && c.EventLogging {
+		return fmt.Errorf("emu: event logging is not supported in parallel mode")
+	}
+	for _, cc := range []*mem.CacheConfig{c.ICache, c.DCache, c.L2} {
+		if cc != nil {
+			if err := cc.Validate(); err != nil {
+				return fmt.Errorf("emu: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Platform is one instantiated MPSoC emulation.
+type Platform struct {
+	Cfg     Config
+	VPCM    *vpcm.VPCM
+	Cores   []*cpu.Core
+	Ctrls   []*mem.Controller
+	Privs   []*mem.Memory
+	Shared  *mem.Memory
+	Bus     *bus.Bus     // nil for NoC platforms
+	Net     *noc.Network // nil for bus platforms
+	Barrier *mem.Barrier
+	L2s     []*mem.Cache // per-core L2, when configured
+	Hub     *sniffer.Hub
+	Ring    *sniffer.Ring
+	Events  []*sniffer.EventSniffer // per controller, when EventLogging
+
+	// OnBufferFull is invoked when the event BRAM fills; it should drain
+	// the ring (e.g. pump the Ethernet dispatcher) and report success.
+	OnBufferFull func() bool
+
+	shMu sync.Mutex // serialises the shared path in parallel mode
+}
+
+// New builds a platform from cfg.
+func New(cfg Config) (*Platform, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Platform{
+		Cfg:  cfg,
+		VPCM: vpcm.New(cfg.PhysHz, cfg.FreqHz),
+		Hub:  sniffer.NewHub(),
+	}
+	cap := cfg.EventBufCap
+	if cap <= 0 {
+		cap = 4096
+	}
+	p.Ring = sniffer.NewRing(cap)
+
+	p.Shared = mem.NewMemory("shared", uint32(cfg.SharedKB)*1024, cfg.SharedLatency)
+	if cfg.SharedPhysLatency > cfg.SharedLatency {
+		p.Shared.SetPhysicalLatency(cfg.SharedPhysLatency, p.VPCM)
+	}
+	p.Barrier = mem.NewBarrier("barrier", cfg.Cores, 1)
+
+	var ic mem.Interconnect
+	switch cfg.IC {
+	case ICBusOPB, ICBusPLB, ICBusCustom:
+		bc := bus.OPB(cfg.Cores)
+		if cfg.IC == ICBusPLB {
+			bc = bus.PLB(cfg.Cores)
+		} else if cfg.IC == ICBusCustom {
+			bc = bus.Custom(cfg.Cores, bus.RoundRobin, 32)
+		}
+		if cfg.Bus != nil {
+			bc = *cfg.Bus
+		}
+		b, err := bus.New(bc)
+		if err != nil {
+			return nil, err
+		}
+		p.Bus = b
+		ic = b
+	case ICNoC:
+		n, err := noc.New(cfg.NoC.Topo, cfg.NoC.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.Net = n
+		ic = n.TargetPort(cfg.NoC.MemSwitch)
+	}
+
+	for i := 0; i < cfg.Cores; i++ {
+		ctl := mem.NewController(fmt.Sprintf("memctl%d", i), i)
+		priv := mem.NewMemory(fmt.Sprintf("priv%d", i), uint32(cfg.PrivKB)*1024, cfg.PrivLatency)
+		if cfg.PrivPhysLatency > cfg.PrivLatency {
+			priv.SetPhysicalLatency(cfg.PrivPhysLatency, p.VPCM)
+		}
+		if err := ctl.AddRange(mem.Range{Name: "priv", Base: PrivBase, Target: priv,
+			Cacheable: true, Kind: mem.KindPrivate}); err != nil {
+			return nil, err
+		}
+		var shared mem.Target = &mem.Routed{Under: p.Shared, IC: ic, Initiator: i}
+		if cfg.L2 != nil {
+			l2cfg := *cfg.L2
+			l2cfg.Name = fmt.Sprintf("l2_%d", i)
+			l2 := mem.NewCache(l2cfg)
+			p.L2s = append(p.L2s, l2)
+			shared = mem.NewCachedTarget(l2, shared)
+		}
+		var barrier mem.Target = p.Barrier
+		var sniffctl mem.Target = mem.NewRegDevice("sniffctl", 64, 1, p.Hub.CtrlLoad, p.Hub.CtrlStore)
+		if cfg.Parallel {
+			shared = &mem.Locked{Mu: &p.shMu, Under: shared}
+			barrier = &mem.Locked{Mu: &p.shMu, Under: barrier}
+			sniffctl = &mem.Locked{Mu: &p.shMu, Under: sniffctl}
+		}
+		if err := ctl.AddRange(mem.Range{Name: "shared", Base: SharedBase, Target: shared,
+			Cacheable: cfg.SharedCacheable, Kind: mem.KindShared}); err != nil {
+			return nil, err
+		}
+		if err := ctl.AddRange(mem.Range{Name: "barrier", Base: BarrierBase,
+			Target: barrier, Kind: mem.KindDevice}); err != nil {
+			return nil, err
+		}
+		if err := ctl.AddRange(mem.Range{Name: "sniffctl", Base: SniffBase,
+			Target: sniffctl, Kind: mem.KindDevice}); err != nil {
+			return nil, err
+		}
+		if cfg.ScratchKB > 0 {
+			spm := mem.Scratchpad(fmt.Sprintf("scratch%d", i), uint32(cfg.ScratchKB)*1024)
+			if err := ctl.AddRange(mem.Range{Name: "scratch", Base: ScratchBase,
+				Target: spm, Kind: mem.KindPrivate}); err != nil {
+				return nil, err
+			}
+		}
+		coreID := uint32(i)
+		info := mem.NewRegDevice("info", 4, 1, func(reg uint32) uint32 {
+			switch reg {
+			case 0:
+				return coreID
+			case 1:
+				return uint32(cfg.Cores)
+			}
+			return 0
+		}, nil)
+		if err := ctl.AddRange(mem.Range{Name: "info", Base: InfoBase,
+			Target: info, Kind: mem.KindDevice}); err != nil {
+			return nil, err
+		}
+
+		var icache, dcache *mem.Cache
+		if cfg.ICache != nil {
+			cc := *cfg.ICache
+			cc.Name = fmt.Sprintf("icache%d", i)
+			icache = mem.NewCache(cc)
+		}
+		if cfg.DCache != nil {
+			cc := *cfg.DCache
+			cc.Name = fmt.Sprintf("dcache%d", i)
+			dcache = mem.NewCache(cc)
+		}
+		ctl.AttachCaches(icache, dcache)
+
+		kind := cfg.CoreKind
+		if i < len(cfg.CoreKinds) {
+			kind = cfg.CoreKinds[i]
+		}
+		core := cpu.New(i, kind, ctl)
+		p.Cores = append(p.Cores, core)
+		p.Ctrls = append(p.Ctrls, ctl)
+		p.Privs = append(p.Privs, priv)
+
+		if cfg.EventLogging {
+			es := sniffer.NewEventSniffer(fmt.Sprintf("events%d", i), uint16(i), p.Ring,
+				func() bool {
+					if p.OnBufferFull != nil {
+						return p.OnBufferFull()
+					}
+					return false
+				})
+			p.Hub.Register(es)
+			p.Events = append(p.Events, es)
+			ctl.SetObserver(func(a mem.Access) {
+				kind := sniffer.EvMemRead
+				switch {
+				case a.Fetch:
+					kind = sniffer.EvFetch
+				case a.Write:
+					kind = sniffer.EvMemWrite
+				}
+				es.Log(a.Cycle, kind, a.Addr, uint32(a.Stall))
+			})
+		}
+	}
+	return p, nil
+}
+
+// MustNew is New for trusted configurations.
+func MustNew(cfg Config) *Platform {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// LoadProgram writes an assembled image into core's private memory and
+// points the core at its entry. Different binaries per core are supported,
+// as with the EDK loader in the paper.
+func (p *Platform) LoadProgram(core int, im *asm.Image) error {
+	if core < 0 || core >= len(p.Cores) {
+		return fmt.Errorf("emu: core %d out of range", core)
+	}
+	limit := uint32(p.Cfg.PrivKB) * 1024
+	for _, s := range im.Sections {
+		if s.Addr+uint32(len(s.Data)) > limit {
+			return fmt.Errorf("emu: image section at 0x%x exceeds %d KB private memory",
+				s.Addr, p.Cfg.PrivKB)
+		}
+		p.Privs[core].WriteBytes(s.Addr, s.Data)
+	}
+	p.Cores[core].Reset(im.Entry)
+	return nil
+}
+
+// WriteShared initialises shared memory (used by workload loaders).
+func (p *Platform) WriteShared(offset uint32, data []byte) {
+	p.Shared.WriteBytes(offset, data)
+}
+
+// ReadSharedWord reads one word of shared memory without timing.
+func (p *Platform) ReadSharedWord(offset uint32) uint32 {
+	return p.Shared.LoadWord(offset)
+}
+
+// StepOne advances the platform by exactly one virtual cycle.
+func (p *Platform) StepOne() {
+	now := p.VPCM.Cycle()
+	for _, c := range p.Cores {
+		c.Step(now)
+	}
+	p.VPCM.Advance(1)
+}
+
+// Step advances the platform by n cycles (or until every core halts).
+func (p *Platform) Step(n uint64) {
+	for i := uint64(0); i < n && !p.AllHalted(); i++ {
+		p.StepOne()
+	}
+}
+
+// Run executes until every core halts or maxCycles elapse. It returns the
+// cycle count at which it stopped and whether all cores halted.
+func (p *Platform) Run(maxCycles uint64) (uint64, bool) {
+	for p.VPCM.Cycle() < maxCycles && !p.AllHalted() {
+		p.StepOne()
+	}
+	return p.VPCM.Cycle(), p.AllHalted()
+}
+
+// AllHalted reports whether every core has halted or faulted.
+func (p *Platform) AllHalted() bool {
+	for _, c := range p.Cores {
+		if !c.Halted() {
+			return false
+		}
+	}
+	return true
+}
+
+// Fault returns the first core fault, if any.
+func (p *Platform) Fault() error {
+	for _, c := range p.Cores {
+		if err := c.Fault(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot is a copy of every count-logging statistic of the platform at a
+// point in time; subtracting two snapshots gives a sampling window.
+type Snapshot struct {
+	Cycle   uint64
+	TimePs  uint64
+	FreqHz  uint64
+	Cores   []cpu.Stats
+	ICaches []mem.CacheStats
+	DCaches []mem.CacheStats
+	L2s     []mem.CacheStats
+	Ctrls   []mem.CtrlStats
+	Shared  mem.MemStats
+	Bus     *bus.Stats
+	Noc     *noc.Stats
+}
+
+// Snapshot captures the current statistics.
+func (p *Platform) Snapshot() Snapshot {
+	s := Snapshot{
+		Cycle:  p.VPCM.Cycle(),
+		TimePs: p.VPCM.TimePs(),
+		FreqHz: p.VPCM.Frequency(),
+		Shared: p.Shared.Stats(),
+	}
+	for i, c := range p.Cores {
+		s.Cores = append(s.Cores, c.Stats())
+		if ic := p.Ctrls[i].ICache(); ic != nil {
+			s.ICaches = append(s.ICaches, ic.Stats())
+		} else {
+			s.ICaches = append(s.ICaches, mem.CacheStats{})
+		}
+		if dc := p.Ctrls[i].DCache(); dc != nil {
+			s.DCaches = append(s.DCaches, dc.Stats())
+		} else {
+			s.DCaches = append(s.DCaches, mem.CacheStats{})
+		}
+		s.Ctrls = append(s.Ctrls, p.Ctrls[i].Stats())
+		if i < len(p.L2s) {
+			s.L2s = append(s.L2s, p.L2s[i].Stats())
+		}
+	}
+	if p.Bus != nil {
+		b := p.Bus.Stats()
+		s.Bus = &b
+	}
+	if p.Net != nil {
+		n := p.Net.Stats()
+		s.Noc = &n
+	}
+	return s
+}
+
+// TotalInstructions returns the committed instruction count across cores.
+func (p *Platform) TotalInstructions() uint64 {
+	var n uint64
+	for _, c := range p.Cores {
+		n += c.Stats().Instructions
+	}
+	return n
+}
+
+// DefaultChunk is the default synchronisation quantum of RunParallel.
+const DefaultChunk = 1024
+
+// RunParallel executes until every core halts or maxCycles elapse, stepping
+// the cores on concurrent goroutines in chunks of the given size (0 uses
+// DefaultChunk). The platform must have been built with Config.Parallel.
+// Within a chunk the cores run free; shared-path accesses are serialised by
+// the platform mutex, so functional results are exact while contention
+// timing is resolved in host-arrival order rather than strict cycle order.
+func (p *Platform) RunParallel(chunk uint64, maxCycles uint64) (uint64, bool) {
+	if !p.Cfg.Parallel {
+		panic("emu: RunParallel on a platform built without Config.Parallel")
+	}
+	if chunk == 0 {
+		chunk = DefaultChunk
+	}
+	for p.VPCM.Cycle() < maxCycles && !p.AllHalted() {
+		n := chunk
+		if left := maxCycles - p.VPCM.Cycle(); n > left {
+			n = left
+		}
+		base := p.VPCM.Cycle()
+		var wg sync.WaitGroup
+		for _, c := range p.Cores {
+			wg.Add(1)
+			go func(c *cpu.Core) {
+				defer wg.Done()
+				for i := uint64(0); i < n; i++ {
+					c.Step(base + i)
+				}
+			}(c)
+		}
+		wg.Wait()
+		p.VPCM.Advance(n)
+	}
+	return p.VPCM.Cycle(), p.AllHalted()
+}

@@ -1,0 +1,164 @@
+package etherlink
+
+import "thermemu/internal/sniffer"
+
+// Freezer is the VPCM surface the dispatcher uses when the Ethernet link
+// congests: the virtual clock is stopped while the link drains so that no
+// statistics are lost and the emulated timing is unaffected (Section 4.2).
+type Freezer interface {
+	RequestFreeze(source string)
+	ReleaseFreeze(source string)
+	AddFrozenTime(physCycles uint64)
+}
+
+// FreezeSource is the VPCM freeze-source name used by the dispatcher.
+const FreezeSource = "ethernet"
+
+// DispatcherStats counts dispatcher activity.
+type DispatcherStats struct {
+	StatsSent   uint64
+	EventsSent  uint64
+	TempsRecv   uint64
+	CtrlRecv    uint64
+	Congestions uint64
+	FrozenPhys  uint64 // physical cycles spent frozen on congestion
+}
+
+// Dispatcher is the device-side Ethernet engine: it serialises statistics
+// messages from the sampler onto the transport, and freezes the virtual
+// platform clock through the VPCM whenever the link cannot accept a frame
+// immediately.
+type Dispatcher struct {
+	ep    *Endpoint
+	vpcm  Freezer
+	stats DispatcherStats
+	// drainPhysCycles models how many physical cycles one congested frame
+	// costs the emulation while the virtual clock is frozen (FIFO drain at
+	// line rate).
+	drainPhysCycles uint64
+}
+
+// NewDispatcher creates a dispatcher over the transport. drainPhysCycles is
+// charged to the VPCM per congestion event.
+func NewDispatcher(tr Transport, vpcm Freezer, drainPhysCycles uint64) *Dispatcher {
+	return &Dispatcher{
+		ep:              NewEndpoint(tr, DeviceMAC, HostMAC),
+		vpcm:            vpcm,
+		drainPhysCycles: drainPhysCycles,
+	}
+}
+
+// Stats returns the dispatcher counters.
+func (d *Dispatcher) Stats() DispatcherStats { return d.stats }
+
+// Endpoint exposes the underlying typed endpoint (e.g. for control traffic).
+func (d *Dispatcher) Endpoint() *Endpoint { return d.ep }
+
+// SendStats transmits one statistics window. On congestion the virtual
+// clock is frozen until the transport accepts the frame.
+func (d *Dispatcher) SendStats(s *Stats) error {
+	b, err := d.ep.frame(MsgStats, s.MarshalPayload()).Marshal()
+	if err != nil {
+		return err
+	}
+	ok, err := d.ep.Tr.TrySend(b)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		// Link congested: stop the virtual clock, block until the FIFO
+		// drains, account the frozen time, resume.
+		d.stats.Congestions++
+		if d.vpcm != nil {
+			d.vpcm.RequestFreeze(FreezeSource)
+		}
+		err = d.ep.Tr.Send(b)
+		if d.vpcm != nil {
+			d.vpcm.AddFrozenTime(d.drainPhysCycles)
+			d.vpcm.ReleaseFreeze(FreezeSource)
+		}
+		d.stats.FrozenPhys += d.drainPhysCycles
+		if err != nil {
+			return err
+		}
+	}
+	d.ep.Sent++
+	d.stats.StatsSent++
+	return nil
+}
+
+// SendCtrl transmits a control message (blocking).
+func (d *Dispatcher) SendCtrl(op CtrlOp, arg uint64) error {
+	return d.ep.Send(MsgCtrl, (&Ctrl{Op: op, Arg: arg}).MarshalPayload())
+}
+
+// RecvTemps blocks until the next temperature message arrives, handling
+// interleaved control frames via the provided callback (which may be nil).
+func (d *Dispatcher) RecvTemps(onCtrl func(*Ctrl)) (*Temps, error) {
+	for {
+		f, err := d.ep.Recv()
+		if err != nil {
+			return nil, err
+		}
+		switch f.Type {
+		case MsgTemp:
+			d.stats.TempsRecv++
+			return UnmarshalTemps(f.Payload)
+		case MsgCtrl:
+			d.stats.CtrlRecv++
+			if onCtrl != nil {
+				c, err := UnmarshalCtrl(f.Payload)
+				if err != nil {
+					return nil, err
+				}
+				onCtrl(c)
+			}
+		default:
+			// Unknown frames are ignored, as real MAC endpoints do.
+		}
+	}
+}
+
+// PumpEvents drains the BRAM ring into MsgEvents frames, freezing the
+// virtual clock on congestion like SendStats does. It returns the number of
+// events shipped. This is the paper's event-logging path: exhaustive logs
+// streamed to the host while count-logging statistics ride the MsgStats
+// frames.
+func (d *Dispatcher) PumpEvents(ring *sniffer.Ring) (int, error) {
+	total := 0
+	buf := make([]sniffer.Event, MaxEventsPerFrame)
+	for ring.Len() > 0 {
+		n := ring.Drain(buf)
+		if n == 0 {
+			break
+		}
+		payload := (&Events{Entries: buf[:n]}).MarshalPayload()
+		b, err := d.ep.frame(MsgEvents, payload).Marshal()
+		if err != nil {
+			return total, err
+		}
+		ok, err := d.ep.Tr.TrySend(b)
+		if err != nil {
+			return total, err
+		}
+		if !ok {
+			d.stats.Congestions++
+			if d.vpcm != nil {
+				d.vpcm.RequestFreeze(FreezeSource)
+			}
+			err = d.ep.Tr.Send(b)
+			if d.vpcm != nil {
+				d.vpcm.AddFrozenTime(d.drainPhysCycles)
+				d.vpcm.ReleaseFreeze(FreezeSource)
+			}
+			d.stats.FrozenPhys += d.drainPhysCycles
+			if err != nil {
+				return total, err
+			}
+		}
+		d.ep.Sent++
+		d.stats.EventsSent += uint64(n)
+		total += n
+	}
+	return total, nil
+}

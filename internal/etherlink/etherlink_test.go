@@ -1,0 +1,467 @@
+package etherlink
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"thermemu/internal/sniffer"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := &Frame{Dst: HostMAC, Src: DeviceMAC, Type: MsgStats, Seq: 42,
+		Payload: []byte{1, 2, 3, 4, 5}}
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Dst != f.Dst || g.Src != f.Src || g.Type != f.Type || g.Seq != f.Seq {
+		t.Errorf("header mismatch: %+v vs %+v", g, f)
+	}
+	if string(g.Payload) != string(f.Payload) {
+		t.Errorf("payload mismatch")
+	}
+}
+
+func TestFrameRoundTripQuick(t *testing.T) {
+	f := func(seq uint32, payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		in := &Frame{Dst: HostMAC, Src: DeviceMAC, Type: MsgTemp, Seq: seq, Payload: payload}
+		b, err := in.Marshal()
+		if err != nil {
+			return false
+		}
+		out, err := Unmarshal(b)
+		if err != nil {
+			return false
+		}
+		if out.Seq != seq || len(out.Payload) != len(payload) {
+			return false
+		}
+		for i := range payload {
+			if out.Payload[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameCorruptionDetected(t *testing.T) {
+	f := &Frame{Dst: HostMAC, Src: DeviceMAC, Type: MsgStats, Seq: 7,
+		Payload: []byte("statistics")}
+	b, _ := f.Marshal()
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		c := append([]byte(nil), b...)
+		c[r.Intn(len(c))] ^= 1 << uint(r.Intn(8))
+		if _, err := Unmarshal(c); err == nil {
+			t.Fatalf("trial %d: corrupted frame accepted", trial)
+		}
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2, 3}); !errors.Is(err, ErrTooShort) {
+		t.Errorf("short frame: %v", err)
+	}
+	big := &Frame{Payload: make([]byte, MaxPayload+1)}
+	if _, err := big.Marshal(); !errors.Is(err, ErrTooLong) {
+		t.Errorf("oversized: %v", err)
+	}
+	ok, _ := (&Frame{Type: MsgAck}).Marshal()
+	bad := append([]byte(nil), ok...)
+	bad[12] = 0x08 // wrong ethertype
+	recrc := func(b []byte) {
+		f, _ := Unmarshal(ok)
+		_ = f
+	}
+	_ = recrc
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("wrong ethertype accepted")
+	}
+}
+
+func TestStatsPayloadRoundTrip(t *testing.T) {
+	s := &Stats{Cycle: 123456789, WindowPs: 10_000_000_000, PowerUW: []uint32{100, 0, 55_000, 1 << 30}}
+	got, err := UnmarshalStats(s.MarshalPayload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycle != s.Cycle || got.WindowPs != s.WindowPs || len(got.PowerUW) != 4 {
+		t.Errorf("got %+v", got)
+	}
+	for i := range s.PowerUW {
+		if got.PowerUW[i] != s.PowerUW[i] {
+			t.Errorf("power %d: %d != %d", i, got.PowerUW[i], s.PowerUW[i])
+		}
+	}
+	if _, err := UnmarshalStats([]byte{1}); err == nil {
+		t.Error("short stats accepted")
+	}
+	if _, err := UnmarshalStats(make([]byte, 19)); err == nil {
+		t.Error("inconsistent stats length accepted")
+	}
+}
+
+func TestTempsPayloadRoundTrip(t *testing.T) {
+	src := []float64{300.0, 350.125, 340.9996}
+	tm := TempsFromKelvin(42_000, src)
+	got, err := UnmarshalTemps(tm.MarshalPayload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TimePs != 42_000 {
+		t.Errorf("time = %d", got.TimePs)
+	}
+	for i, want := range src {
+		if d := got.Kelvin(i) - want; d > 0.001 || d < -0.001 {
+			t.Errorf("cell %d: %.4f K, want %.4f K", i, got.Kelvin(i), want)
+		}
+	}
+	if _, err := UnmarshalTemps([]byte{0}); err == nil {
+		t.Error("short temps accepted")
+	}
+}
+
+func TestCtrlPayloadRoundTrip(t *testing.T) {
+	c := &Ctrl{Op: CtrlFreeze, Arg: 999}
+	got, err := UnmarshalCtrl(c.MarshalPayload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != CtrlFreeze || got.Arg != 999 {
+		t.Errorf("got %+v", got)
+	}
+	if _, err := UnmarshalCtrl([]byte{1, 2}); err == nil {
+		t.Error("short ctrl accepted")
+	}
+	if CtrlStart.String() != "start" || CtrlOp(99).String() == "" {
+		t.Error("ctrl op strings")
+	}
+}
+
+func TestLoopbackTransport(t *testing.T) {
+	dev, host := LoopbackPair(4)
+	if err := dev.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := host.Recv()
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("recv %q, %v", b, err)
+	}
+	// Reverse direction.
+	if err := host.Send([]byte("temps")); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := dev.Recv(); string(b) != "temps" {
+		t.Errorf("reverse recv %q", b)
+	}
+}
+
+func TestLoopbackCongestion(t *testing.T) {
+	dev, _ := LoopbackPair(2)
+	for i := 0; i < 2; i++ {
+		if ok, _ := dev.TrySend([]byte{byte(i)}); !ok {
+			t.Fatalf("send %d rejected", i)
+		}
+	}
+	if ok, _ := dev.TrySend([]byte{9}); ok {
+		t.Error("TrySend succeeded on full link")
+	}
+}
+
+func TestLoopbackClose(t *testing.T) {
+	dev, host := LoopbackPair(2)
+	dev.Send([]byte("x"))
+	dev.Close()
+	// Host can still drain queued frames, then sees EOF.
+	if b, err := host.Recv(); err != nil || string(b) != "x" {
+		t.Fatalf("drain after close: %q, %v", b, err)
+	}
+	if _, err := host.Recv(); err != io.EOF {
+		t.Errorf("after drain: %v, want EOF", err)
+	}
+	if err := dev.Send([]byte("y")); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close: %v", err)
+	}
+}
+
+type fakeFreezer struct {
+	mu       sync.Mutex
+	frozen   map[string]bool
+	events   int
+	frozenCy uint64
+}
+
+func newFakeFreezer() *fakeFreezer { return &fakeFreezer{frozen: map[string]bool{}} }
+
+func (f *fakeFreezer) RequestFreeze(s string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.frozen[s] = true
+	f.events++
+}
+func (f *fakeFreezer) ReleaseFreeze(s string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.frozen, s)
+}
+func (f *fakeFreezer) AddFrozenTime(c uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.frozenCy += c
+}
+
+func TestDispatcherCongestionFreezesClock(t *testing.T) {
+	dev, host := LoopbackPair(1)
+	fz := newFakeFreezer()
+	d := NewDispatcher(dev, fz, 500)
+	// Slow consumer that drains one frame after a delay.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		for {
+			if _, err := host.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	s := &Stats{Cycle: 1, WindowPs: 1, PowerUW: []uint32{1}}
+	if err := d.SendStats(s); err != nil { // fills the FIFO
+		t.Fatal(err)
+	}
+	if err := d.SendStats(s); err != nil { // congested: must freeze+block
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Congestions == 0 {
+		t.Error("no congestion recorded")
+	}
+	if fz.events == 0 || fz.frozenCy != 500*st.Congestions {
+		t.Errorf("freezer events=%d frozen=%d", fz.events, fz.frozenCy)
+	}
+	fz.mu.Lock()
+	stillFrozen := len(fz.frozen) > 0
+	fz.mu.Unlock()
+	if stillFrozen {
+		t.Error("clock left frozen after congestion resolved")
+	}
+	dev.Close()
+}
+
+func TestDispatcherTempsAndCtrl(t *testing.T) {
+	dev, hostTr := LoopbackPair(8)
+	d := NewDispatcher(dev, nil, 0)
+	host := NewEndpoint(hostTr, HostMAC, DeviceMAC)
+	// Host sends a ctrl then a temps frame.
+	if err := host.Send(MsgCtrl, (&Ctrl{Op: CtrlStart, Arg: 5}).MarshalPayload()); err != nil {
+		t.Fatal(err)
+	}
+	if err := host.Send(MsgTemp, TempsFromKelvin(10, []float64{301, 302}).MarshalPayload()); err != nil {
+		t.Fatal(err)
+	}
+	var gotCtrl *Ctrl
+	tm, err := d.RecvTemps(func(c *Ctrl) { gotCtrl = c })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCtrl == nil || gotCtrl.Op != CtrlStart || gotCtrl.Arg != 5 {
+		t.Errorf("ctrl = %+v", gotCtrl)
+	}
+	if len(tm.MilliK) != 2 || tm.Kelvin(1) != 302 {
+		t.Errorf("temps = %+v", tm)
+	}
+	st := d.Stats()
+	if st.TempsRecv != 1 || st.CtrlRecv != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTCPTransportEndToEnd(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	type result struct {
+		stats *Stats
+		err   error
+	}
+	res := make(chan result, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			res <- result{nil, err}
+			return
+		}
+		host := NewEndpoint(NewTCP(conn, 16), HostMAC, DeviceMAC)
+		f, err := host.Recv()
+		if err != nil {
+			res <- result{nil, err}
+			return
+		}
+		s, err := UnmarshalStats(f.Payload)
+		if err != nil {
+			res <- result{nil, err}
+			return
+		}
+		// Answer with temperatures.
+		err = host.Send(MsgTemp, TempsFromKelvin(77, []float64{315.5}).MarshalPayload())
+		res <- result{s, err}
+	}()
+
+	tr, err := Dial(l.Addr().String(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	d := NewDispatcher(tr, nil, 0)
+	want := &Stats{Cycle: 99, WindowPs: 10_000, PowerUW: []uint32{123, 456}}
+	if err := d.SendStats(want); err != nil {
+		t.Fatal(err)
+	}
+	tm, err := d.RecvTemps(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Kelvin(0) != 315.5 {
+		t.Errorf("temp = %v", tm.Kelvin(0))
+	}
+	r := <-res
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.stats.Cycle != 99 || r.stats.PowerUW[1] != 456 {
+		t.Errorf("host got %+v", r.stats)
+	}
+}
+
+func TestMACString(t *testing.T) {
+	if DeviceMAC.String() != "02:54:45:4d:55:01" {
+		t.Errorf("got %s", DeviceMAC)
+	}
+}
+
+func TestEndpointSequenceNumbers(t *testing.T) {
+	dev, host := LoopbackPair(8)
+	e := NewEndpoint(dev, DeviceMAC, HostMAC)
+	h := NewEndpoint(host, HostMAC, DeviceMAC)
+	for i := uint32(0); i < 3; i++ {
+		if e.NextSeq() != i {
+			t.Errorf("next seq = %d, want %d", e.NextSeq(), i)
+		}
+		if err := e.Send(MsgAck, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint32(0); i < 3; i++ {
+		f, err := h.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Seq != i {
+			t.Errorf("recv seq = %d, want %d", f.Seq, i)
+		}
+	}
+	if e.Sent != 3 || h.Received != 3 {
+		t.Errorf("counters: sent=%d recv=%d", e.Sent, h.Received)
+	}
+}
+
+func TestEventsPayloadRoundTrip(t *testing.T) {
+	in := &Events{Entries: []sniffer.Event{
+		{Cycle: 1, Source: 2, Kind: sniffer.EvMemWrite, Addr: 0x1000, Info: 42},
+		{Cycle: 999999, Source: 7, Kind: sniffer.EvFetch, Addr: 0xFFFF_FFF0, Info: 0},
+	}}
+	out, err := UnmarshalEvents(in.MarshalPayload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Entries) != 2 {
+		t.Fatalf("entries = %d", len(out.Entries))
+	}
+	for i := range in.Entries {
+		if out.Entries[i] != in.Entries[i] {
+			t.Errorf("entry %d: %+v != %+v", i, out.Entries[i], in.Entries[i])
+		}
+	}
+	if _, err := UnmarshalEvents([]byte{9}); err == nil {
+		t.Error("short events payload accepted")
+	}
+	if _, err := UnmarshalEvents(make([]byte, 2+5)); err == nil {
+		t.Error("misaligned events payload accepted")
+	}
+	// A full frame's worth of events still fits the MTU.
+	big := &Events{Entries: make([]sniffer.Event, MaxEventsPerFrame)}
+	if len(big.MarshalPayload()) > MaxPayload {
+		t.Error("max batch exceeds the MTU")
+	}
+}
+
+func TestDispatcherPumpEvents(t *testing.T) {
+	dev, host := LoopbackPair(4)
+	d := NewDispatcher(dev, nil, 0)
+	ring := sniffer.NewRing(500)
+	for i := 0; i < 200; i++ {
+		ring.Push(sniffer.Event{Cycle: uint64(i), Kind: sniffer.EvBusTxn})
+	}
+	type res struct {
+		events int
+		frames int
+		err    error
+	}
+	resCh := make(chan res, 1)
+	go func() {
+		ep := NewEndpoint(host, HostMAC, DeviceMAC)
+		var r res
+		for r.events < 200 {
+			f, err := ep.Recv()
+			if err != nil {
+				r.err = err
+				break
+			}
+			if f.Type != MsgEvents {
+				continue
+			}
+			evs, err := UnmarshalEvents(f.Payload)
+			if err != nil {
+				r.err = err
+				break
+			}
+			r.frames++
+			r.events += len(evs.Entries)
+		}
+		resCh <- r
+	}()
+	n, err := d.PumpEvents(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 200 || ring.Len() != 0 {
+		t.Fatalf("pumped %d, ring left %d", n, ring.Len())
+	}
+	r := <-resCh
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.events != 200 || r.frames < 3 {
+		t.Errorf("host saw %d events in %d frames", r.events, r.frames)
+	}
+	if d.Stats().EventsSent != 200 {
+		t.Errorf("dispatcher counted %d events", d.Stats().EventsSent)
+	}
+}

@@ -1,0 +1,41 @@
+package etherlink
+
+import "testing"
+
+// FuzzUnmarshal exercises the frame parser with arbitrary bytes: it must
+// never panic, and every frame it accepts must re-marshal to the identical
+// wire image (the codec is canonical).
+func FuzzUnmarshal(f *testing.F) {
+	ok, _ := (&Frame{Dst: HostMAC, Src: DeviceMAC, Type: MsgStats, Seq: 9,
+		Payload: []byte{1, 2, 3}}).Marshal()
+	f.Add(ok)
+	f.Add([]byte{})
+	f.Add(make([]byte, headerLen+crcLen))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		again, err := fr.Marshal()
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-marshal: %v", err)
+		}
+		if string(again) != string(data) {
+			t.Fatalf("re-marshal differs from accepted wire image")
+		}
+	})
+}
+
+// FuzzUnmarshalStats checks the stats payload parser on arbitrary bytes.
+func FuzzUnmarshalStats(f *testing.F) {
+	f.Add((&Stats{Cycle: 1, WindowPs: 2, PowerUW: []uint32{3}}).MarshalPayload())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := UnmarshalStats(data)
+		if err != nil {
+			return
+		}
+		if string(s.MarshalPayload()) != string(data) {
+			t.Fatal("stats payload not canonical")
+		}
+	})
+}

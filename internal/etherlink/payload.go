@@ -1,0 +1,198 @@
+package etherlink
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"thermemu/internal/sniffer"
+)
+
+// Stats is the device-to-host statistics message: the power computed for
+// each floorplan component over one sampling window, plus the emulated
+// cycle and virtual-time position of the window.
+type Stats struct {
+	Cycle    uint64   // virtual platform cycle at the end of the window
+	WindowPs uint64   // virtual duration of the window
+	PowerUW  []uint32 // per-component power in microwatts
+}
+
+// MarshalPayload serialises the statistics payload.
+func (s *Stats) MarshalPayload() []byte {
+	b := make([]byte, 8+8+2+4*len(s.PowerUW))
+	binary.LittleEndian.PutUint64(b[0:8], s.Cycle)
+	binary.LittleEndian.PutUint64(b[8:16], s.WindowPs)
+	binary.LittleEndian.PutUint16(b[16:18], uint16(len(s.PowerUW)))
+	for i, p := range s.PowerUW {
+		binary.LittleEndian.PutUint32(b[18+4*i:], p)
+	}
+	return b
+}
+
+// UnmarshalStats parses a statistics payload.
+func UnmarshalStats(b []byte) (*Stats, error) {
+	if len(b) < 18 {
+		return nil, fmt.Errorf("etherlink: stats payload too short (%d bytes)", len(b))
+	}
+	n := int(binary.LittleEndian.Uint16(b[16:18]))
+	if len(b) != 18+4*n {
+		return nil, fmt.Errorf("etherlink: stats payload length %d, want %d entries", len(b), n)
+	}
+	s := &Stats{
+		Cycle:    binary.LittleEndian.Uint64(b[0:8]),
+		WindowPs: binary.LittleEndian.Uint64(b[8:16]),
+		PowerUW:  make([]uint32, n),
+	}
+	for i := range s.PowerUW {
+		s.PowerUW[i] = binary.LittleEndian.Uint32(b[18+4*i:])
+	}
+	return s, nil
+}
+
+// Temps is the host-to-device temperature message: the new temperature of
+// every thermal cell, fed back to the emulated temperature sensors.
+type Temps struct {
+	TimePs uint64   // virtual time the temperatures correspond to
+	MilliK []uint32 // per-cell temperature in millikelvin
+}
+
+// MarshalPayload serialises the temperature payload.
+func (t *Temps) MarshalPayload() []byte {
+	b := make([]byte, 8+2+4*len(t.MilliK))
+	binary.LittleEndian.PutUint64(b[0:8], t.TimePs)
+	binary.LittleEndian.PutUint16(b[8:10], uint16(len(t.MilliK)))
+	for i, v := range t.MilliK {
+		binary.LittleEndian.PutUint32(b[10+4*i:], v)
+	}
+	return b
+}
+
+// UnmarshalTemps parses a temperature payload.
+func UnmarshalTemps(b []byte) (*Temps, error) {
+	if len(b) < 10 {
+		return nil, fmt.Errorf("etherlink: temps payload too short (%d bytes)", len(b))
+	}
+	n := int(binary.LittleEndian.Uint16(b[8:10]))
+	if len(b) != 10+4*n {
+		return nil, fmt.Errorf("etherlink: temps payload length %d, want %d entries", len(b), n)
+	}
+	t := &Temps{TimePs: binary.LittleEndian.Uint64(b[0:8]), MilliK: make([]uint32, n)}
+	for i := range t.MilliK {
+		t.MilliK[i] = binary.LittleEndian.Uint32(b[10+4*i:])
+	}
+	return t, nil
+}
+
+// Kelvin returns cell i's temperature in kelvin.
+func (t *Temps) Kelvin(i int) float64 { return float64(t.MilliK[i]) / 1000 }
+
+// TempsFromKelvin builds a Temps message from float temperatures.
+func TempsFromKelvin(timePs uint64, kelvin []float64) *Temps {
+	t := &Temps{TimePs: timePs, MilliK: make([]uint32, len(kelvin))}
+	for i, k := range kelvin {
+		if k < 0 {
+			k = 0
+		}
+		t.MilliK[i] = uint32(k*1000 + 0.5)
+	}
+	return t
+}
+
+// CtrlOp is a control operation code.
+type CtrlOp uint8
+
+// Control operations.
+const (
+	CtrlStart  CtrlOp = iota + 1 // begin a run; Arg = component count
+	CtrlStop                     // end of run; Arg = final cycle
+	CtrlFreeze                   // host asks device to freeze the virtual clock
+	CtrlResume                   // host releases the freeze
+)
+
+// String returns the op name.
+func (op CtrlOp) String() string {
+	switch op {
+	case CtrlStart:
+		return "start"
+	case CtrlStop:
+		return "stop"
+	case CtrlFreeze:
+		return "freeze"
+	case CtrlResume:
+		return "resume"
+	}
+	return fmt.Sprintf("ctrl(%d)", uint8(op))
+}
+
+// Ctrl is a control message.
+type Ctrl struct {
+	Op  CtrlOp
+	Arg uint64
+}
+
+// MarshalPayload serialises the control payload.
+func (c *Ctrl) MarshalPayload() []byte {
+	b := make([]byte, 9)
+	b[0] = byte(c.Op)
+	binary.LittleEndian.PutUint64(b[1:], c.Arg)
+	return b
+}
+
+// UnmarshalCtrl parses a control payload.
+func UnmarshalCtrl(b []byte) (*Ctrl, error) {
+	if len(b) != 9 {
+		return nil, fmt.Errorf("etherlink: ctrl payload length %d, want 9", len(b))
+	}
+	return &Ctrl{Op: CtrlOp(b[0]), Arg: binary.LittleEndian.Uint64(b[1:])}, nil
+}
+
+// eventBytes is the wire size of one logged event.
+const eventBytes = 8 + 2 + 1 + 4 + 4
+
+// MaxEventsPerFrame is how many logged events fit a single MAC frame.
+const MaxEventsPerFrame = (MaxPayload - 2) / eventBytes
+
+// Events is the device-to-host exhaustive event-log message: the drained
+// contents of the BRAM ring produced by event-logging sniffers.
+type Events struct {
+	Entries []sniffer.Event
+}
+
+// MarshalPayload serialises the event batch.
+func (e *Events) MarshalPayload() []byte {
+	b := make([]byte, 2+eventBytes*len(e.Entries))
+	binary.LittleEndian.PutUint16(b[0:2], uint16(len(e.Entries)))
+	off := 2
+	for _, ev := range e.Entries {
+		binary.LittleEndian.PutUint64(b[off:], ev.Cycle)
+		binary.LittleEndian.PutUint16(b[off+8:], ev.Source)
+		b[off+10] = byte(ev.Kind)
+		binary.LittleEndian.PutUint32(b[off+11:], ev.Addr)
+		binary.LittleEndian.PutUint32(b[off+15:], ev.Info)
+		off += eventBytes
+	}
+	return b
+}
+
+// UnmarshalEvents parses an event batch payload.
+func UnmarshalEvents(b []byte) (*Events, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("etherlink: events payload too short (%d bytes)", len(b))
+	}
+	n := int(binary.LittleEndian.Uint16(b[0:2]))
+	if len(b) != 2+eventBytes*n {
+		return nil, fmt.Errorf("etherlink: events payload length %d, want %d entries", len(b), n)
+	}
+	e := &Events{Entries: make([]sniffer.Event, n)}
+	off := 2
+	for i := range e.Entries {
+		e.Entries[i] = sniffer.Event{
+			Cycle:  binary.LittleEndian.Uint64(b[off:]),
+			Source: binary.LittleEndian.Uint16(b[off+8:]),
+			Kind:   sniffer.EventKind(b[off+10]),
+			Addr:   binary.LittleEndian.Uint32(b[off+11:]),
+			Info:   binary.LittleEndian.Uint32(b[off+15:]),
+		}
+		off += eventBytes
+	}
+	return e, nil
+}

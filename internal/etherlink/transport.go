@@ -1,0 +1,276 @@
+package etherlink
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Transport moves serialised frames between the device and the host.
+// Send blocks until the frame is accepted; TrySend never blocks and reports
+// whether the frame was accepted — the dispatcher uses it to detect link
+// congestion and freeze the virtual clock instead of dropping statistics.
+type Transport interface {
+	Send(frame []byte) error
+	TrySend(frame []byte) (bool, error)
+	Recv() ([]byte, error) // blocks; returns io.EOF after Close
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("etherlink: transport closed")
+
+// loopback is one endpoint of an in-process transport pair.
+type loopback struct {
+	out  chan []byte
+	in   chan []byte
+	once *sync.Once
+	done chan struct{}
+}
+
+// LoopbackPair creates two connected in-process transports whose link can
+// buffer depth frames in each direction. It models the FPGA Ethernet core's
+// FIFO: when the peer does not drain fast enough, TrySend fails.
+func LoopbackPair(depth int) (device, host Transport) {
+	ab := make(chan []byte, depth)
+	ba := make(chan []byte, depth)
+	done := make(chan struct{})
+	once := &sync.Once{}
+	return &loopback{out: ab, in: ba, once: once, done: done},
+		&loopback{out: ba, in: ab, once: once, done: done}
+}
+
+func (l *loopback) Send(frame []byte) error {
+	select {
+	case <-l.done:
+		return ErrClosed
+	default:
+	}
+	f := append([]byte(nil), frame...)
+	select {
+	case l.out <- f:
+		return nil
+	case <-l.done:
+		return ErrClosed
+	}
+}
+
+func (l *loopback) TrySend(frame []byte) (bool, error) {
+	select {
+	case <-l.done:
+		return false, ErrClosed
+	default:
+	}
+	f := append([]byte(nil), frame...)
+	select {
+	case l.out <- f:
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+func (l *loopback) Recv() ([]byte, error) {
+	select {
+	case f := <-l.in:
+		return f, nil
+	case <-l.done:
+		// Drain anything already queued before reporting EOF.
+		select {
+		case f := <-l.in:
+			return f, nil
+		default:
+			return nil, io.EOF
+		}
+	}
+}
+
+func (l *loopback) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+// tcpTransport carries frames over a net.Conn, length-prefixed with a
+// 32-bit little-endian size. A writer goroutine provides the non-blocking
+// TrySend queue.
+type tcpTransport struct {
+	conn    net.Conn
+	sendCh  chan []byte
+	done    chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+	writeMu sync.Mutex
+	werr    error
+}
+
+// NewTCP wraps an established connection (either side) into a Transport.
+// queueDepth bounds the send queue, modelling the device FIFO.
+func NewTCP(conn net.Conn, queueDepth int) Transport {
+	t := &tcpTransport{conn: conn, sendCh: make(chan []byte, queueDepth), done: make(chan struct{})}
+	t.wg.Add(1)
+	go t.writer()
+	return t
+}
+
+// Dial connects to a host-side listener and returns the device transport.
+func Dial(addr string, queueDepth int) (Transport, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("etherlink: dial %s: %w", addr, err)
+	}
+	return NewTCP(conn, queueDepth), nil
+}
+
+func (t *tcpTransport) writer() {
+	defer t.wg.Done()
+	for {
+		select {
+		case f := <-t.sendCh:
+			if err := t.writeFrame(f); err != nil {
+				t.writeMu.Lock()
+				if t.werr == nil {
+					t.werr = err
+				}
+				t.writeMu.Unlock()
+				return
+			}
+		case <-t.done:
+			// Flush whatever is still queued.
+			for {
+				select {
+				case f := <-t.sendCh:
+					if t.writeFrame(f) != nil {
+						return
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (t *tcpTransport) writeFrame(f []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(f)))
+	if _, err := t.conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := t.conn.Write(f)
+	return err
+}
+
+func (t *tcpTransport) sendErr() error {
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	return t.werr
+}
+
+func (t *tcpTransport) Send(frame []byte) error {
+	if err := t.sendErr(); err != nil {
+		return err
+	}
+	f := append([]byte(nil), frame...)
+	select {
+	case t.sendCh <- f:
+		return nil
+	case <-t.done:
+		return ErrClosed
+	}
+}
+
+func (t *tcpTransport) TrySend(frame []byte) (bool, error) {
+	if err := t.sendErr(); err != nil {
+		return false, err
+	}
+	select {
+	case <-t.done:
+		return false, ErrClosed
+	default:
+	}
+	f := append([]byte(nil), frame...)
+	select {
+	case t.sendCh <- f:
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+func (t *tcpTransport) Recv() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(t.conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > headerLen+MaxPayload+crcLen {
+		return nil, fmt.Errorf("etherlink: oversized frame (%d bytes)", n)
+	}
+	f := make([]byte, n)
+	if _, err := io.ReadFull(t.conn, f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (t *tcpTransport) Close() error {
+	t.once.Do(func() { close(t.done) })
+	t.wg.Wait()
+	return t.conn.Close()
+}
+
+// Endpoint is a typed convenience wrapper over a Transport: it stamps
+// addresses and sequence numbers on the way out and parses frames on the
+// way in.
+type Endpoint struct {
+	Tr       Transport
+	Local    MAC
+	Remote   MAC
+	seq      uint32
+	Received uint64
+	Sent     uint64
+}
+
+// NewEndpoint builds an endpoint with the given addresses.
+func NewEndpoint(tr Transport, local, remote MAC) *Endpoint {
+	return &Endpoint{Tr: tr, Local: local, Remote: remote}
+}
+
+// NextSeq returns the sequence number the next sent frame will carry.
+func (e *Endpoint) NextSeq() uint32 { return e.seq }
+
+func (e *Endpoint) frame(typ MsgType, payload []byte) *Frame {
+	f := &Frame{Dst: e.Remote, Src: e.Local, Type: typ, Seq: e.seq, Payload: payload}
+	e.seq++
+	return f
+}
+
+// Send marshals and transmits a typed message, blocking until accepted.
+func (e *Endpoint) Send(typ MsgType, payload []byte) error {
+	b, err := e.frame(typ, payload).Marshal()
+	if err != nil {
+		return err
+	}
+	if err := e.Tr.Send(b); err != nil {
+		return err
+	}
+	e.Sent++
+	return nil
+}
+
+// Recv receives and parses the next frame.
+func (e *Endpoint) Recv() (*Frame, error) {
+	b, err := e.Tr.Recv()
+	if err != nil {
+		return nil, err
+	}
+	f, err := Unmarshal(b)
+	if err != nil {
+		return nil, err
+	}
+	e.Received++
+	return f, nil
+}

@@ -1,0 +1,161 @@
+package fpga
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func pct(slices int) float64 { return 100 * float64(slices) / float64(V2VP30().Slices) }
+
+// TestPaperQuotedBlockCosts checks the per-block figures the paper states
+// directly.
+func TestPaperQuotedBlockCosts(t *testing.T) {
+	cases := []struct {
+		kind BlockKind
+		want float64 // percent of the V2VP30
+		tol  float64
+	}{
+		{Microblaze, 4.0, 0.25},   // "574 out of 13.696 slices" (4%)
+		{MemController, 2.0, 0.1}, // "each memory controller takes 2%"
+		{PrivateMem, 1.0, 0.1},    // "its synthesis takes 1%"
+		{CustomBus, 1.0, 0.1},     // "Its synthesis takes 1%"
+		{SnifferEvent, 0.2, 0.05}, // "0.2% for one event-logging sniffer"
+		{SnifferCount, 0.3, 0.05}, // "0.3% for an event-counting sniffer"
+	}
+	for _, c := range cases {
+		if got := pct(SliceCost(c.kind)); math.Abs(got-c.want) > c.tol {
+			t.Errorf("%s: %.2f%%, want %.2f%% ± %.2f", c.kind, got, c.want, c.tol)
+		}
+	}
+	if SliceCost(Microblaze) != 574 {
+		t.Errorf("Microblaze slices = %d, want 574", SliceCost(Microblaze))
+	}
+	if SliceCost(PPC405) != 0 {
+		t.Error("hard core must take no slices")
+	}
+}
+
+// TestTable3BusDesign reproduces "the MPSoC design with HW sniffers and 4
+// processors (1 hard-core PowerPC and 3 soft-core Microblazes) consumes 66%
+// of the V2VP30".
+func TestTable3BusDesign(t *testing.T) {
+	rep, err := Estimate(BusDesign(1, 3, 10, 4), V2VP30())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := rep.SlicePct(); math.Abs(p-66) > 4 {
+		t.Errorf("bus design utilisation %.1f%%, paper reports 66%%", p)
+	}
+	if !rep.Fits() {
+		t.Error("bus design must fit the V2VP30")
+	}
+	if rep.HardPPC != 1 {
+		t.Errorf("hard PPC count = %d", rep.HardPPC)
+	}
+}
+
+// TestTable3NoCDesign reproduces "This NoC-based MPSoC required 80% of our
+// FPGA" (2 switches, 4 in/out, 3-flit buffers).
+func TestTable3NoCDesign(t *testing.T) {
+	rep, err := Estimate(NoCDesign(1, 3, 2, 10, 4), V2VP30())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := rep.SlicePct(); math.Abs(p-80) > 4 {
+		t.Errorf("NoC design utilisation %.1f%%, paper reports 80%%", p)
+	}
+	if !rep.Fits() {
+		t.Error("NoC design must fit")
+	}
+}
+
+// TestSixSwitchSystem reproduces "a complex NoC-based system with 6
+// switches of 4 input/output channels and 3 output buffers uses 70% of the
+// V2VP30" (a two-core IP-validation style configuration).
+func TestSixSwitchSystem(t *testing.T) {
+	rep, err := Estimate(NoCDesign(0, 2, 6, 8, 2), V2VP30())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := rep.SlicePct(); math.Abs(p-70) > 5 {
+		t.Errorf("6-switch system utilisation %.1f%%, paper reports 70%%", p)
+	}
+}
+
+func TestSnifferScalability(t *testing.T) {
+	// "Practically an unlimited number of event-counting sniffers can be
+	// added": utilisation grows by only 0.3% each.
+	base, _ := Estimate(BusDesign(1, 3, 0, 0), V2VP30())
+	many, _ := Estimate(BusDesign(1, 3, 40, 0), V2VP30())
+	delta := many.SlicePct() - base.SlicePct()
+	if math.Abs(delta-40*0.3) > 0.5 {
+		t.Errorf("40 count sniffers added %.2f%%, want ~12%%", delta)
+	}
+}
+
+func TestOversubscription(t *testing.T) {
+	// Too many soft cores cannot fit.
+	rep, err := Estimate(BusDesign(0, 16, 0, 0), V2VP30())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fits() {
+		t.Errorf("16-core design reported as fitting at %.1f%%", rep.SlicePct())
+	}
+	// Three hard PPCs exceed the two on-die macros.
+	d := Design{Name: "3ppc"}
+	d.Add(PPC405, 3)
+	rep, _ = Estimate(d, V2VP30())
+	if rep.Fits() {
+		t.Error("3 hard PPC design reported as fitting")
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	d := Design{Name: "bad", Items: []Item{{Kind: "warp-core", Count: 1}}}
+	if _, err := Estimate(d, V2VP30()); err == nil {
+		t.Error("unknown block accepted")
+	}
+	d = Design{Name: "neg", Items: []Item{{Kind: Microblaze, Count: -1}}}
+	if _, err := Estimate(d, V2VP30()); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep, _ := Estimate(BusDesign(1, 3, 4, 0), V2VP30())
+	s := rep.String()
+	for _, want := range []string{"microblaze", "total:", "XC2VP30", "%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDesignAggregatesDuplicates(t *testing.T) {
+	d := Design{Name: "agg"}
+	d.Add(Microblaze, 1).Add(Microblaze, 2)
+	rep, err := Estimate(d, V2VP30())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerKind) != 1 || rep.PerKind[0].Count != 3 {
+		t.Errorf("aggregation failed: %+v", rep.PerKind)
+	}
+	if rep.Slices != 3*574 {
+		t.Errorf("slices = %d", rep.Slices)
+	}
+}
+
+func TestResynthesisScaling(t *testing.T) {
+	// Adding cores grows utilisation monotonically.
+	prev := 0.0
+	for n := 1; n <= 6; n++ {
+		rep, _ := Estimate(BusDesign(0, n, 0, 0), V2VP30())
+		if rep.SlicePct() <= prev {
+			t.Fatalf("utilisation not monotone at %d cores", n)
+		}
+		prev = rep.SlicePct()
+	}
+}

@@ -1,0 +1,261 @@
+// Package isa defines R32, the 32-bit RISC instruction set executed by the
+// emulated processing cores of the thermal-emulation framework.
+//
+// R32 stands in for the netlist-level soft cores (Microblaze-class) and hard
+// cores (PowerPC405-class) that the DAC'06 paper maps onto the FPGA: it is a
+// classic fixed-width load/store ISA with 32 general-purpose registers, which
+// is enough to run the paper's MATRIX and DITHERING workloads as real
+// instruction streams and to drive the memory hierarchy, interconnect and
+// statistics sniffers with realistic reference traces.
+//
+// Encoding (32 bits, little-endian in memory):
+//
+//	R-type  op[31:26]=0  rd[25:21] rs1[20:16] rs2[15:11] funct[10:0]
+//	I-type  op[31:26]    rd[25:21] rs1[20:16] imm16[15:0]
+//	branch  op[31:26]    rs1[25:21] rs2[20:16] imm16[15:0]   (word offset)
+//	J-type  op[31:26]    imm26[25:0]                         (word offset)
+package isa
+
+import "fmt"
+
+// Opcode identifies the major operation class of an instruction.
+type Opcode uint8
+
+// Major opcodes.
+const (
+	OpRType Opcode = iota // register-register ALU group, selected by Funct
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlti
+	OpSltiu
+	OpSlli
+	OpSrli
+	OpSrai
+	OpLui
+	OpLw
+	OpLb
+	OpLbu
+	OpSw
+	OpSb
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBltu
+	OpBgeu
+	OpJal
+	OpJalr
+	OpHalt
+	OpSwap // atomic exchange: rd <-> M[rs1+imm]
+	numOpcodes
+)
+
+// Funct selects the ALU operation for OpRType instructions.
+type Funct uint16
+
+// R-type function codes.
+const (
+	FnAdd Funct = iota
+	FnSub
+	FnAnd
+	FnOr
+	FnXor
+	FnNor
+	FnSll
+	FnSrl
+	FnSra
+	FnSlt
+	FnSltu
+	FnMul
+	FnDiv
+	FnDivu
+	FnRem
+	FnRemu
+	numFuncts
+)
+
+// NumRegs is the number of general-purpose registers. Register 0 is
+// hard-wired to zero; register 31 is the link register written by JAL.
+const NumRegs = 32
+
+// LinkReg is the register that JAL writes its return address to.
+const LinkReg = 31
+
+var opNames = [...]string{
+	OpRType: "rtype", OpAddi: "addi", OpAndi: "andi", OpOri: "ori",
+	OpXori: "xori", OpSlti: "slti", OpSltiu: "sltiu", OpSlli: "slli",
+	OpSrli: "srli", OpSrai: "srai", OpLui: "lui", OpLw: "lw", OpLb: "lb",
+	OpLbu: "lbu", OpSw: "sw", OpSb: "sb", OpBeq: "beq", OpBne: "bne",
+	OpBlt: "blt", OpBge: "bge", OpBltu: "bltu", OpBgeu: "bgeu",
+	OpJal: "jal", OpJalr: "jalr", OpHalt: "halt", OpSwap: "swap",
+}
+
+var fnNames = [...]string{
+	FnAdd: "add", FnSub: "sub", FnAnd: "and", FnOr: "or", FnXor: "xor",
+	FnNor: "nor", FnSll: "sll", FnSrl: "srl", FnSra: "sra", FnSlt: "slt",
+	FnSltu: "sltu", FnMul: "mul", FnDiv: "div", FnDivu: "divu",
+	FnRem: "rem", FnRemu: "remu",
+}
+
+// String returns the mnemonic for the opcode.
+func (op Opcode) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// String returns the mnemonic for the R-type function.
+func (fn Funct) String() string {
+	if int(fn) < len(fnNames) {
+		return fnNames[fn]
+	}
+	return fmt.Sprintf("fn(%d)", uint16(fn))
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return op < numOpcodes }
+
+// Valid reports whether fn is a defined R-type function.
+func (fn Funct) Valid() bool { return fn < numFuncts }
+
+// IsBranch reports whether op is a conditional branch.
+func (op Opcode) IsBranch() bool { return op >= OpBeq && op <= OpBgeu }
+
+// IsLoad reports whether op reads data memory.
+func (op Opcode) IsLoad() bool { return op == OpLw || op == OpLb || op == OpLbu }
+
+// IsStore reports whether op writes data memory.
+func (op Opcode) IsStore() bool { return op == OpSw || op == OpSb }
+
+// IsMem reports whether op accesses data memory (including atomic swap).
+func (op Opcode) IsMem() bool { return op.IsLoad() || op.IsStore() || op == OpSwap }
+
+// Instr is a decoded R32 instruction.
+type Instr struct {
+	Op    Opcode
+	Funct Funct // valid only when Op == OpRType
+	Rd    uint8
+	Rs1   uint8
+	Rs2   uint8
+	Imm   int32 // sign-extended imm16, or imm26 for OpJal
+}
+
+// ZeroExtImm reports whether the immediate of op is zero-extended rather
+// than sign-extended (logical immediates and shift amounts).
+func (op Opcode) ZeroExtImm() bool {
+	switch op {
+	case OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpLui:
+		return true
+	}
+	return false
+}
+
+// Encode packs the instruction into its 32-bit representation.
+// It panics if a field is out of range; use Validate to check first.
+func Encode(in Instr) uint32 {
+	if err := Validate(in); err != nil {
+		panic("isa: encode: " + err.Error())
+	}
+	w := uint32(in.Op) << 26
+	switch {
+	case in.Op == OpRType:
+		w |= uint32(in.Rd)<<21 | uint32(in.Rs1)<<16 | uint32(in.Rs2)<<11 | uint32(in.Funct)
+	case in.Op == OpJal:
+		w |= uint32(in.Imm) & 0x03FFFFFF
+	case in.Op.IsBranch():
+		w |= uint32(in.Rs1)<<21 | uint32(in.Rs2)<<16 | uint32(uint16(in.Imm))
+	default: // I-type
+		w |= uint32(in.Rd)<<21 | uint32(in.Rs1)<<16 | uint32(uint16(in.Imm))
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit word into an Instr. Undefined opcodes decode with
+// Op left as the raw value; callers should treat them as illegal.
+func Decode(w uint32) Instr {
+	op := Opcode(w >> 26)
+	in := Instr{Op: op}
+	switch {
+	case op == OpRType:
+		in.Rd = uint8(w >> 21 & 31)
+		in.Rs1 = uint8(w >> 16 & 31)
+		in.Rs2 = uint8(w >> 11 & 31)
+		in.Funct = Funct(w & 0x7FF)
+	case op == OpJal:
+		imm := int32(w & 0x03FFFFFF)
+		if imm&(1<<25) != 0 { // sign-extend 26-bit field
+			imm |= ^int32(0x03FFFFFF)
+		}
+		in.Imm = imm
+	case op.IsBranch():
+		in.Rs1 = uint8(w >> 21 & 31)
+		in.Rs2 = uint8(w >> 16 & 31)
+		in.Imm = int32(int16(w))
+	default:
+		in.Rd = uint8(w >> 21 & 31)
+		in.Rs1 = uint8(w >> 16 & 31)
+		if op.ZeroExtImm() {
+			in.Imm = int32(w & 0xFFFF)
+		} else {
+			in.Imm = int32(int16(w))
+		}
+	}
+	return in
+}
+
+// Validate checks that every field of in is within its encodable range.
+func Validate(in Instr) error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("invalid opcode %d", in.Op)
+	}
+	if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+		return fmt.Errorf("%s: register out of range (rd=%d rs1=%d rs2=%d)", in.Op, in.Rd, in.Rs1, in.Rs2)
+	}
+	switch {
+	case in.Op == OpRType:
+		if !in.Funct.Valid() {
+			return fmt.Errorf("invalid funct %d", in.Funct)
+		}
+	case in.Op == OpJal:
+		if in.Imm < -(1<<25) || in.Imm > 1<<25-1 {
+			return fmt.Errorf("jal offset %d out of 26-bit range", in.Imm)
+		}
+	case in.Op.ZeroExtImm():
+		if in.Imm < 0 || in.Imm > 0xFFFF {
+			return fmt.Errorf("%s: immediate %d out of unsigned 16-bit range", in.Op, in.Imm)
+		}
+	default:
+		if in.Imm < -(1<<15) || in.Imm > 1<<15-1 {
+			return fmt.Errorf("%s: immediate %d out of signed 16-bit range", in.Op, in.Imm)
+		}
+	}
+	return nil
+}
+
+// RegName returns the canonical assembly name of register r ("r0".."r31").
+func RegName(r uint8) string { return fmt.Sprintf("r%d", r) }
+
+// String disassembles the instruction into canonical assembly syntax.
+func (in Instr) String() string {
+	switch {
+	case in.Op == OpRType:
+		return fmt.Sprintf("%s %s, %s, %s", in.Funct, RegName(in.Rd), RegName(in.Rs1), RegName(in.Rs2))
+	case in.Op == OpJal:
+		return fmt.Sprintf("jal %d", in.Imm)
+	case in.Op == OpJalr:
+		return fmt.Sprintf("jalr %s, %s, %d", RegName(in.Rd), RegName(in.Rs1), in.Imm)
+	case in.Op.IsBranch():
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, RegName(in.Rs1), RegName(in.Rs2), in.Imm)
+	case in.Op.IsMem():
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, RegName(in.Rd), in.Imm, RegName(in.Rs1))
+	case in.Op == OpLui:
+		return fmt.Sprintf("lui %s, %d", RegName(in.Rd), in.Imm)
+	case in.Op == OpHalt:
+		return "halt"
+	default:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, RegName(in.Rd), RegName(in.Rs1), in.Imm)
+	}
+}

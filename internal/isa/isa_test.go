@@ -1,0 +1,168 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTripExamples(t *testing.T) {
+	cases := []Instr{
+		{Op: OpRType, Funct: FnAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpRType, Funct: FnRemu, Rd: 31, Rs1: 30, Rs2: 29},
+		{Op: OpAddi, Rd: 5, Rs1: 0, Imm: -1},
+		{Op: OpAddi, Rd: 5, Rs1: 0, Imm: 32767},
+		{Op: OpAndi, Rd: 5, Rs1: 6, Imm: 0xFFFF},
+		{Op: OpLui, Rd: 7, Imm: 0xABCD},
+		{Op: OpLw, Rd: 8, Rs1: 9, Imm: -4},
+		{Op: OpSw, Rd: 8, Rs1: 9, Imm: 2044},
+		{Op: OpBeq, Rs1: 1, Rs2: 2, Imm: -100},
+		{Op: OpBgeu, Rs1: 3, Rs2: 4, Imm: 100},
+		{Op: OpJal, Imm: -(1 << 25)},
+		{Op: OpJal, Imm: 1<<25 - 1},
+		{Op: OpJalr, Rd: 0, Rs1: 31, Imm: 0},
+		{Op: OpHalt},
+		{Op: OpSwap, Rd: 10, Rs1: 11, Imm: 16},
+	}
+	for _, in := range cases {
+		got := Decode(Encode(in))
+		if got != in {
+			t.Errorf("round trip %v: got %v", in, got)
+		}
+	}
+}
+
+// genInstr produces a random valid instruction.
+func genInstr(r *rand.Rand) Instr {
+	in := Instr{Op: Opcode(r.Intn(int(numOpcodes)))}
+	reg := func() uint8 { return uint8(r.Intn(NumRegs)) }
+	switch {
+	case in.Op == OpRType:
+		in.Funct = Funct(r.Intn(int(numFuncts)))
+		in.Rd, in.Rs1, in.Rs2 = reg(), reg(), reg()
+	case in.Op == OpJal:
+		in.Imm = int32(r.Intn(1<<26)) - 1<<25
+	case in.Op.IsBranch():
+		in.Rs1, in.Rs2 = reg(), reg()
+		in.Imm = int32(r.Intn(1<<16)) - 1<<15
+	case in.Op.ZeroExtImm():
+		in.Rd, in.Rs1 = reg(), reg()
+		in.Imm = int32(r.Intn(1 << 16))
+	default:
+		in.Rd, in.Rs1 = reg(), reg()
+		in.Imm = int32(r.Intn(1<<16)) - 1<<15
+	}
+	return in
+}
+
+func TestEncodeDecodeRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 64; i++ {
+			in := genInstr(r)
+			if err := Validate(in); err != nil {
+				t.Logf("generated invalid instr %v: %v", in, err)
+				return false
+			}
+			out := Decode(Encode(in))
+			if out != in {
+				t.Logf("mismatch: in=%+v out=%+v", in, out)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeNeverPanicsQuick(t *testing.T) {
+	f := func(w uint32) bool {
+		_ = Decode(w) // must not panic on arbitrary bit patterns
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadFields(t *testing.T) {
+	bad := []Instr{
+		{Op: numOpcodes},
+		{Op: OpRType, Funct: numFuncts},
+		{Op: OpAddi, Rd: 32},
+		{Op: OpAddi, Imm: 1 << 15},
+		{Op: OpAddi, Imm: -(1<<15 + 1)},
+		{Op: OpAndi, Imm: -1},
+		{Op: OpAndi, Imm: 1 << 16},
+		{Op: OpJal, Imm: 1 << 25},
+	}
+	for _, in := range bad {
+		if err := Validate(in); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", in)
+		}
+	}
+}
+
+func TestEncodePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encode of invalid instruction did not panic")
+		}
+	}()
+	Encode(Instr{Op: OpAddi, Imm: 1 << 20})
+}
+
+func TestOpcodeClassPredicates(t *testing.T) {
+	if !OpLw.IsLoad() || !OpLb.IsLoad() || !OpLbu.IsLoad() {
+		t.Error("load predicate broken")
+	}
+	if OpSw.IsLoad() || !OpSw.IsStore() || !OpSb.IsStore() {
+		t.Error("store predicate broken")
+	}
+	if !OpSwap.IsMem() || OpAddi.IsMem() {
+		t.Error("mem predicate broken")
+	}
+	for op := OpBeq; op <= OpBgeu; op++ {
+		if !op.IsBranch() {
+			t.Errorf("%v should be a branch", op)
+		}
+	}
+	if OpJal.IsBranch() || OpJalr.IsBranch() {
+		t.Error("jumps must not be classified as branches")
+	}
+}
+
+func TestDisassemblyMentionsOperands(t *testing.T) {
+	in := Instr{Op: OpLw, Rd: 8, Rs1: 9, Imm: -4}
+	s := in.String()
+	for _, want := range []string{"lw", "r8", "r9", "-4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("disassembly %q missing %q", s, want)
+		}
+	}
+	r := Instr{Op: OpRType, Funct: FnMul, Rd: 1, Rs1: 2, Rs2: 3}
+	if s := r.String(); !strings.Contains(s, "mul") {
+		t.Errorf("disassembly %q missing mul", s)
+	}
+}
+
+func TestSignExtensionBoundaries(t *testing.T) {
+	// imm16 = 0x8000 must decode as -32768 for sign-extended opcodes.
+	w := Encode(Instr{Op: OpAddi, Rd: 1, Rs1: 2, Imm: -32768})
+	if got := Decode(w).Imm; got != -32768 {
+		t.Errorf("sign extension: got %d want -32768", got)
+	}
+	// Zero-extended opcodes must keep 0x8000 positive.
+	w = Encode(Instr{Op: OpOri, Rd: 1, Rs1: 2, Imm: 0x8000})
+	if got := Decode(w).Imm; got != 0x8000 {
+		t.Errorf("zero extension: got %d want 32768", got)
+	}
+	// JAL 26-bit sign boundary.
+	w = Encode(Instr{Op: OpJal, Imm: -(1 << 25)})
+	if got := Decode(w).Imm; got != -(1 << 25) {
+		t.Errorf("jal sign extension: got %d", got)
+	}
+}

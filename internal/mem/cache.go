@@ -1,0 +1,228 @@
+package mem
+
+import "fmt"
+
+// CacheConfig describes one private HW-controlled cache. Per the paper,
+// total size, line size and latency are independently configurable for each
+// cache, and both direct-mapped (Assoc == 1) and set-associative
+// organisations are supported.
+type CacheConfig struct {
+	Name       string
+	SizeBytes  uint32
+	LineBytes  uint32
+	Assoc      int
+	HitLatency uint64
+	// WriteThrough selects a write-through, no-write-allocate policy
+	// instead of the default write-back, write-allocate one: every store
+	// is forwarded to the next level (no dirty lines, no write-backs),
+	// and a store miss does not install the line.
+	WriteThrough bool
+}
+
+// Validate checks the configuration for structural consistency.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes == 0 || c.LineBytes == 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache %s: size, line size and associativity must be positive", c.Name)
+	}
+	if c.LineBytes%4 != 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d must be a power of two multiple of 4", c.Name, c.LineBytes)
+	}
+	if c.SizeBytes%(c.LineBytes*uint32(c.Assoc)) != 0 {
+		return fmt.Errorf("cache %s: size %d not divisible by line*assoc", c.Name, c.SizeBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * uint32(c.Assoc))
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d must be a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// CacheStats counts cache events for the sniffers.
+type CacheStats struct {
+	Reads      uint64
+	Writes     uint64
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+}
+
+// Accesses returns the total number of cache accesses.
+func (s CacheStats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// MissRate returns misses over accesses (0 when idle).
+func (s CacheStats) MissRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Misses) / float64(a)
+	}
+	return 0
+}
+
+type cacheLine struct {
+	tag   uint32
+	valid bool
+	dirty bool
+	lru   uint64 // last-touched stamp
+}
+
+// Cache is a timing directory modelling a write-back, write-allocate cache
+// with per-set LRU replacement. It never holds data: the backing store is
+// always consistent, so the cache only determines how many cycles an access
+// costs and which refills/write-backs reach the next level.
+type Cache struct {
+	cfg    CacheConfig
+	sets   [][]cacheLine
+	nSets  uint32
+	stamp  uint64
+	stats  CacheStats
+	enable bool
+}
+
+// NewCache builds a cache from cfg. It panics on invalid configurations;
+// call cfg.Validate first if the source is untrusted.
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic("mem: " + err.Error())
+	}
+	nSets := cfg.SizeBytes / (cfg.LineBytes * uint32(cfg.Assoc))
+	sets := make([][]cacheLine, nSets)
+	lines := make([]cacheLine, nSets*uint32(cfg.Assoc))
+	for i := range sets {
+		sets[i], lines = lines[:cfg.Assoc], lines[cfg.Assoc:]
+	}
+	return &Cache{cfg: cfg, sets: sets, nSets: nSets, enable: true}
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Stats returns the event counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// ResetStats zeroes the event counters.
+func (c *Cache) ResetStats() { c.stats = CacheStats{} }
+
+// SetEnabled turns the cache on or off; when disabled every access goes
+// straight to the backing target (used to make address ranges uncacheable
+// at run time).
+func (c *Cache) SetEnabled(on bool) { c.enable = on }
+
+// Resolver maps a global address to the target that backs it and the
+// target-local address (provided by the memory controller).
+type Resolver func(addr uint32) (Target, uint32)
+
+// Flush invalidates every line, charging write-backs for dirty ones against
+// the target resolved for each victim line, starting at cycle now. It
+// returns the total cycles spent.
+func (c *Cache) Flush(now uint64, resolve Resolver) uint64 {
+	var total uint64
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			ln := &c.sets[si][wi]
+			if ln.valid && ln.dirty {
+				addr := c.lineAddr(ln.tag, uint32(si))
+				if t, local := resolve(addr); t != nil {
+					total += t.Latency(now+total, local, c.cfg.LineBytes, true)
+				}
+				c.stats.Writebacks++
+			}
+			*ln = cacheLine{}
+		}
+	}
+	return total
+}
+
+func (c *Cache) index(addr uint32) (set, tag uint32) {
+	line := addr / c.cfg.LineBytes
+	return line % c.nSets, line / c.nSets
+}
+
+func (c *Cache) lineAddr(tag, set uint32) uint32 {
+	return (tag*c.nSets + set) * c.cfg.LineBytes
+}
+
+// Enabled reports whether the cache is currently active.
+func (c *Cache) Enabled() bool { return c.enable }
+
+// Access models one cache lookup at the given (global) address. On a hit it
+// returns (true, hit latency); on a miss it returns (false, 0) and the
+// caller is expected to call Refill and charge the refill/write-back timing
+// against the appropriate targets. The functional data transfer is performed
+// by the caller against the backing store; Access only accounts timing and
+// directory state.
+func (c *Cache) Access(addr uint32, write bool) (hit bool, stall uint64) {
+	if write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	c.stamp++
+	set, tag := c.index(addr)
+	lines := c.sets[set]
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			c.stats.Hits++
+			lines[i].lru = c.stamp
+			if write && !c.cfg.WriteThrough {
+				lines[i].dirty = true
+			}
+			return true, c.cfg.HitLatency
+		}
+	}
+	c.stats.Misses++
+	return false, 0
+}
+
+// Refill installs the line containing addr, evicting the LRU way. It
+// returns the victim's write-back requirement.
+func (c *Cache) Refill(addr uint32, write bool) (victimAddr uint32, victimDirty bool) {
+	set, tag := c.index(addr)
+	lines := c.sets[set]
+	vi := 0
+	for i := range lines {
+		if !lines[i].valid {
+			vi = i
+			break
+		}
+		if lines[i].lru < lines[vi].lru {
+			vi = i
+		}
+	}
+	v := &lines[vi]
+	if v.valid {
+		c.stats.Evictions++
+		if v.dirty {
+			c.stats.Writebacks++
+			victimAddr, victimDirty = c.lineAddr(v.tag, set), true
+		}
+	}
+	c.stamp++
+	dirty := write && !c.cfg.WriteThrough
+	*v = cacheLine{tag: tag, valid: true, dirty: dirty, lru: c.stamp}
+	return victimAddr, victimDirty
+}
+
+// Contains reports whether the line holding addr is currently resident
+// (used by tests and by atomic-swap invalidation).
+func (c *Cache) Contains(addr uint32) bool {
+	set, tag := c.index(addr)
+	for _, ln := range c.sets[set] {
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops the line containing addr if resident, without write-back
+// (used by atomic operations that bypass the cache).
+func (c *Cache) Invalidate(addr uint32) {
+	set, tag := c.index(addr)
+	lines := c.sets[set]
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			lines[i] = cacheLine{}
+			return
+		}
+	}
+}

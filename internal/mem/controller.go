@@ -1,0 +1,325 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RangeKind classifies the address ranges the memory controller routes to,
+// mirroring the paper's three memory address ranges (private main memory,
+// shared main memory, caches in front of them) plus memory-mapped devices
+// such as the sniffer control registers.
+type RangeKind int
+
+// Range kinds.
+const (
+	KindPrivate RangeKind = iota
+	KindShared
+	KindDevice
+)
+
+// String returns the kind name.
+func (k RangeKind) String() string {
+	switch k {
+	case KindPrivate:
+		return "private"
+	case KindShared:
+		return "shared"
+	case KindDevice:
+		return "device"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Range maps [Base, Base+Target.Size()) in the core's address space onto a
+// target component.
+type Range struct {
+	Name      string
+	Base      uint32
+	Target    Target
+	Cacheable bool
+	Kind      RangeKind
+}
+
+// Access describes one memory reference, delivered to the controller's
+// observer. This is the signal bundle an event-logging HW sniffer captures.
+type Access struct {
+	Cycle uint64
+	Core  int
+	Addr  uint32
+	Kind  RangeKind
+	Write bool
+	Fetch bool
+	Stall uint64
+}
+
+// Observer receives every access routed through a controller.
+type Observer func(Access)
+
+// CtrlStats are the count-logging statistics of one memory controller.
+type CtrlStats struct {
+	Fetches      uint64
+	PrivateReads uint64
+	PrivateWrits uint64
+	SharedReads  uint64
+	SharedWrits  uint64
+	DeviceOps    uint64
+	StallCycles  uint64
+}
+
+// Controller captures all memory requests of one processing core and
+// forwards them to the demanded memory according to the address (Section
+// 3.2). One controller is attached to each core; it owns the core's private
+// I/D caches and keeps the latency bookkeeping that, on the FPGA, drives the
+// VIRTUAL_CLK_SUPPRESSION signal into the VPCM.
+type Controller struct {
+	name     string
+	coreID   int
+	ranges   []Range // sorted by Base
+	icache   *Cache
+	dcache   *Cache
+	observer Observer
+	stats    CtrlStats
+}
+
+// NewController creates a memory controller for core coreID.
+func NewController(name string, coreID int) *Controller {
+	return &Controller{name: name, coreID: coreID}
+}
+
+// Name returns the controller instance name.
+func (c *Controller) Name() string { return c.name }
+
+// CoreID returns the attached core's index.
+func (c *Controller) CoreID() int { return c.coreID }
+
+// Stats returns the count-logging statistics.
+func (c *Controller) Stats() CtrlStats { return c.stats }
+
+// ResetStats zeroes the statistics counters.
+func (c *Controller) ResetStats() { c.stats = CtrlStats{} }
+
+// ICache and DCache return the attached caches (nil when absent).
+func (c *Controller) ICache() *Cache { return c.icache }
+
+// DCache returns the attached data cache (nil when absent).
+func (c *Controller) DCache() *Cache { return c.dcache }
+
+// AttachCaches installs the private instruction and data caches. Either may
+// be nil for an uncached configuration.
+func (c *Controller) AttachCaches(icache, dcache *Cache) {
+	c.icache, c.dcache = icache, dcache
+}
+
+// SetObserver installs the access observer (event-logging sniffer hook).
+func (c *Controller) SetObserver(o Observer) { c.observer = o }
+
+// AddRange registers an address range. Ranges must not overlap.
+func (c *Controller) AddRange(r Range) error {
+	if r.Target == nil {
+		return fmt.Errorf("mem: %s: range %s has nil target", c.name, r.Name)
+	}
+	end := uint64(r.Base) + uint64(r.Target.Size())
+	for _, e := range c.ranges {
+		eEnd := uint64(e.Base) + uint64(e.Target.Size())
+		if uint64(r.Base) < eEnd && uint64(e.Base) < end {
+			return fmt.Errorf("mem: %s: range %s overlaps %s", c.name, r.Name, e.Name)
+		}
+	}
+	c.ranges = append(c.ranges, r)
+	sort.Slice(c.ranges, func(i, j int) bool { return c.ranges[i].Base < c.ranges[j].Base })
+	return nil
+}
+
+// Ranges returns the registered ranges in address order.
+func (c *Controller) Ranges() []Range { return c.ranges }
+
+func (c *Controller) rangeFor(addr uint32) *Range {
+	// Binary search over sorted bases.
+	lo, hi := 0, len(c.ranges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.ranges[mid].Base <= addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return nil
+	}
+	r := &c.ranges[lo-1]
+	if uint64(addr) < uint64(r.Base)+uint64(r.Target.Size()) {
+		return r
+	}
+	return nil
+}
+
+// Resolve implements the cache Resolver over this controller's address map.
+func (c *Controller) Resolve(addr uint32) (Target, uint32) {
+	if r := c.rangeFor(addr); r != nil {
+		return r.Target, addr - r.Base
+	}
+	return nil, 0
+}
+
+// FaultError describes an illegal memory reference.
+type FaultError struct {
+	Ctrl  string
+	Addr  uint32
+	Cause string
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("mem: %s: fault at 0x%08x: %s", e.Ctrl, e.Addr, e.Cause)
+}
+
+func (c *Controller) fault(addr uint32, cause string) error {
+	return &FaultError{Ctrl: c.name, Addr: addr, Cause: cause}
+}
+
+func (c *Controller) account(a Access) {
+	c.stats.StallCycles += a.Stall
+	switch {
+	case a.Fetch:
+		c.stats.Fetches++
+	case a.Kind == KindPrivate && a.Write:
+		c.stats.PrivateWrits++
+	case a.Kind == KindPrivate:
+		c.stats.PrivateReads++
+	case a.Kind == KindShared && a.Write:
+		c.stats.SharedWrits++
+	case a.Kind == KindShared:
+		c.stats.SharedReads++
+	default:
+		c.stats.DeviceOps++
+	}
+	if c.observer != nil {
+		c.observer(a)
+	}
+}
+
+// timedAccess charges one reference of the given size through the cache (if
+// cacheable) or directly, and returns the stall cycles.
+func (c *Controller) timedAccess(cache *Cache, now uint64, r *Range, addr uint32, bytes uint32, write bool) uint64 {
+	local := addr - r.Base
+	if r.Kind == KindDevice || !r.Cacheable || cache == nil || !cache.Enabled() {
+		return r.Target.Latency(now, local, bytes, write)
+	}
+	hit, stall := cache.Access(addr, write)
+	if write && cache.Config().WriteThrough {
+		// Write-through: the store always reaches the next level; a store
+		// miss does not allocate.
+		through := r.Target.Latency(now, local, bytes, true)
+		if hit {
+			return stall + through
+		}
+		return through
+	}
+	if hit {
+		return stall
+	}
+	line := cache.Config().LineBytes
+	victimAddr, victimDirty := cache.Refill(addr, write)
+	var extra uint64
+	if victimDirty {
+		if vt, vlocal := c.Resolve(victimAddr); vt != nil {
+			extra += vt.Latency(now, vlocal, line, true)
+		}
+	}
+	lineLocal := local &^ (line - 1)
+	extra += r.Target.Latency(now+extra, lineLocal, line, false)
+	return cache.Config().HitLatency + extra
+}
+
+// Fetch reads one instruction word through the instruction cache.
+func (c *Controller) Fetch(now uint64, addr uint32) (uint32, uint64, error) {
+	if addr%4 != 0 {
+		return 0, 0, c.fault(addr, "unaligned instruction fetch")
+	}
+	r := c.rangeFor(addr)
+	if r == nil {
+		return 0, 0, c.fault(addr, "fetch from unmapped address")
+	}
+	stall := c.timedAccess(c.icache, now, r, addr, 4, false)
+	v := r.Target.LoadWord(addr - r.Base)
+	c.account(Access{Cycle: now, Core: c.coreID, Addr: addr, Kind: r.Kind, Fetch: true, Stall: stall})
+	return v, stall, nil
+}
+
+// ReadWord performs a 32-bit data load.
+func (c *Controller) ReadWord(now uint64, addr uint32) (uint32, uint64, error) {
+	if addr%4 != 0 {
+		return 0, 0, c.fault(addr, "unaligned word load")
+	}
+	r := c.rangeFor(addr)
+	if r == nil {
+		return 0, 0, c.fault(addr, "load from unmapped address")
+	}
+	stall := c.timedAccess(c.dcache, now, r, addr, 4, false)
+	v := r.Target.LoadWord(addr - r.Base)
+	c.account(Access{Cycle: now, Core: c.coreID, Addr: addr, Kind: r.Kind, Stall: stall})
+	return v, stall, nil
+}
+
+// WriteWord performs a 32-bit data store.
+func (c *Controller) WriteWord(now uint64, addr uint32, v uint32) (uint64, error) {
+	if addr%4 != 0 {
+		return 0, c.fault(addr, "unaligned word store")
+	}
+	r := c.rangeFor(addr)
+	if r == nil {
+		return 0, c.fault(addr, "store to unmapped address")
+	}
+	stall := c.timedAccess(c.dcache, now, r, addr, 4, true)
+	r.Target.StoreWord(addr-r.Base, v)
+	c.account(Access{Cycle: now, Core: c.coreID, Addr: addr, Kind: r.Kind, Write: true, Stall: stall})
+	return stall, nil
+}
+
+// ReadByte performs an 8-bit data load.
+func (c *Controller) LoadByte(now uint64, addr uint32) (byte, uint64, error) {
+	r := c.rangeFor(addr)
+	if r == nil {
+		return 0, 0, c.fault(addr, "load from unmapped address")
+	}
+	stall := c.timedAccess(c.dcache, now, r, addr, 1, false)
+	v := r.Target.LoadByte(addr - r.Base)
+	c.account(Access{Cycle: now, Core: c.coreID, Addr: addr, Kind: r.Kind, Stall: stall})
+	return v, stall, nil
+}
+
+// WriteByte performs an 8-bit data store.
+func (c *Controller) StoreByte(now uint64, addr uint32, b byte) (uint64, error) {
+	r := c.rangeFor(addr)
+	if r == nil {
+		return 0, c.fault(addr, "store to unmapped address")
+	}
+	stall := c.timedAccess(c.dcache, now, r, addr, 1, true)
+	r.Target.StoreByte(addr-r.Base, b)
+	c.account(Access{Cycle: now, Core: c.coreID, Addr: addr, Kind: r.Kind, Write: true, Stall: stall})
+	return stall, nil
+}
+
+// Swap performs an atomic 32-bit exchange, bypassing (and invalidating in)
+// the data cache: the returned value is the previous memory word.
+func (c *Controller) Swap(now uint64, addr uint32, v uint32) (uint32, uint64, error) {
+	if addr%4 != 0 {
+		return 0, 0, c.fault(addr, "unaligned atomic swap")
+	}
+	r := c.rangeFor(addr)
+	if r == nil {
+		return 0, 0, c.fault(addr, "swap on unmapped address")
+	}
+	if c.dcache != nil {
+		c.dcache.Invalidate(addr)
+	}
+	local := addr - r.Base
+	// Read-modify-write held as a single bus transaction: charge one read
+	// plus one extra cycle for the locked write phase.
+	stall := r.Target.Latency(now, local, 4, true) + 1
+	old := r.Target.LoadWord(local)
+	r.Target.StoreWord(local, v)
+	c.account(Access{Cycle: now, Core: c.coreID, Addr: addr, Kind: r.Kind, Write: true, Stall: stall})
+	return old, stall, nil
+}

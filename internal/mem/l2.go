@@ -1,0 +1,72 @@
+package mem
+
+// CachedTarget interposes a timing-directory cache in front of any Target.
+// This is how the framework adds "additional cache levels ... to each
+// processing element, or by processor groups" (Section 3.2): chain a
+// CachedTarget in front of the memory (or the interconnect path to it) and
+// the extra level is part of the hierarchy — data stays in the always-
+// consistent backing store, the cache only filters timing and produces
+// hit/miss statistics.
+type CachedTarget struct {
+	cache *Cache
+	under Target
+}
+
+// NewCachedTarget wraps under with the given cache level.
+func NewCachedTarget(cache *Cache, under Target) *CachedTarget {
+	return &CachedTarget{cache: cache, under: under}
+}
+
+// Cache exposes the interposed cache (for statistics).
+func (t *CachedTarget) Cache() *Cache { return t.cache }
+
+// Latency implements Target: each cache line the access touches is looked
+// up; hits cost the cache's hit latency, misses add the victim write-back
+// and the line refill from the underlying target.
+func (t *CachedTarget) Latency(now uint64, addr uint32, bytes uint32, write bool) uint64 {
+	if !t.cache.Enabled() {
+		return t.under.Latency(now, addr, bytes, write)
+	}
+	line := t.cache.Config().LineBytes
+	first := addr &^ (line - 1)
+	last := (addr + bytes - 1) &^ (line - 1)
+	var total uint64
+	for la := first; ; la += line {
+		hit, stall := t.cache.Access(la, write)
+		if hit {
+			total += stall
+		} else {
+			victimAddr, victimDirty := t.cache.Refill(la, write)
+			if victimDirty {
+				total += t.under.Latency(now+total, victimAddr, line, true)
+			}
+			total += t.cache.Config().HitLatency + t.under.Latency(now+total, la, line, false)
+		}
+		if la == last {
+			break
+		}
+	}
+	return total
+}
+
+// LoadWord implements Target.
+func (t *CachedTarget) LoadWord(addr uint32) uint32 { return t.under.LoadWord(addr) }
+
+// StoreWord implements Target.
+func (t *CachedTarget) StoreWord(addr uint32, v uint32) { t.under.StoreWord(addr, v) }
+
+// LoadByte implements Target.
+func (t *CachedTarget) LoadByte(addr uint32) byte { return t.under.LoadByte(addr) }
+
+// StoreByte implements Target.
+func (t *CachedTarget) StoreByte(addr uint32, b byte) { t.under.StoreByte(addr, b) }
+
+// Size implements Target.
+func (t *CachedTarget) Size() uint32 { return t.under.Size() }
+
+// Scratchpad is a small, fast, software-managed local memory (the paper
+// lists scratchpads alongside caches as L1 alternatives the framework can
+// explore). It is simply a Memory preset with single-cycle access.
+func Scratchpad(name string, size uint32) *Memory {
+	return NewMemory(name, size, 0)
+}

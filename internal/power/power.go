@@ -1,0 +1,201 @@
+// Package power provides the component power models of the framework
+// (Table 1 of the DAC'06 paper): maximum power and power density of the
+// most important MPSoC components in 130 nm bulk CMOS, derived from
+// industrial power models, plus the activity-based run-time evaluation that
+// converts sniffer statistics into the per-component power values streamed
+// to the thermal library.
+//
+// Leakage energy is ignored, as in the paper: at 130 nm its impact is very
+// limited, particularly for low-power system design.
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is one row of Table 1: the power characteristics of a component
+// class at its reference frequency.
+type Model struct {
+	Name        string
+	MaxPowerW   float64 // maximum power at RefFreqHz
+	DensityWmm2 float64 // maximum power density, W/mm²
+	RefFreqHz   float64
+}
+
+// Table 1 of the paper (130 nm bulk CMOS, reference frequency 100 MHz).
+var (
+	// ARM7 is the low-power RISC-32 core: 5.5 mW @ 100 MHz, 0.03 W/mm².
+	ARM7 = Model{Name: "RISC32-ARM7", MaxPowerW: 5.5e-3, DensityWmm2: 0.03, RefFreqHz: 100e6}
+	// ARM11 is the high-performance RISC-32 core: 1.5 W max, 0.5 W/mm².
+	// Table 1 marks this value "(Max)": it is the core's maximum power at
+	// its 500 MHz operating point (floorplan (b) clocks the ARM11s at
+	// 500 MHz), so the activity/frequency scaling is anchored there.
+	ARM11 = Model{Name: "RISC32-ARM11", MaxPowerW: 1.5, DensityWmm2: 0.5, RefFreqHz: 500e6}
+	// DCache8K2W is an 8 kB 2-way data cache: 43 mW, 0.012 W/mm².
+	DCache8K2W = Model{Name: "DCache-8kB-2way", MaxPowerW: 43e-3, DensityWmm2: 0.012, RefFreqHz: 100e6}
+	// ICache8KDM is an 8 kB direct-mapped instruction cache: 11 mW, 0.03 W/mm².
+	ICache8KDM = Model{Name: "ICache-8kB-DM", MaxPowerW: 11e-3, DensityWmm2: 0.03, RefFreqHz: 100e6}
+	// Mem32K is a 32 kB on-chip memory: 15 mW, 0.02 W/mm².
+	Mem32K = Model{Name: "Memory-32kB", MaxPowerW: 15e-3, DensityWmm2: 0.02, RefFreqHz: 100e6}
+)
+
+// Interconnect component models. Table 1 does not list interconnect power;
+// the paper obtained NoC dimensions "after building a layout" from an
+// industrial partner. These values are engineering estimates documented in
+// DESIGN.md: a 32-bit 4-in/4-out wormhole switch and the exploration bus.
+var (
+	// NoCSwitch is a 32-bit 4×4 wormhole switch with output buffering.
+	NoCSwitch = Model{Name: "NoC-switch-4x4", MaxPowerW: 40e-3, DensityWmm2: 0.1, RefFreqHz: 100e6}
+	// SharedBus is the configurable 32-bit data/address exploration bus.
+	SharedBus = Model{Name: "Shared-bus-32", MaxPowerW: 25e-3, DensityWmm2: 0.05, RefFreqHz: 100e6}
+)
+
+// Table1 returns the five component models of the paper's Table 1 in
+// presentation order.
+func Table1() []Model {
+	return []Model{ARM7, ARM11, DCache8K2W, ICache8KDM, Mem32K}
+}
+
+// AreaMM2 returns the component area implied by its maximum power and power
+// density, in mm².
+func (m Model) AreaMM2() float64 {
+	if m.DensityWmm2 == 0 {
+		return 0
+	}
+	return m.MaxPowerW / m.DensityWmm2
+}
+
+// AreaM2 returns the implied area in m².
+func (m Model) AreaM2() float64 { return m.AreaMM2() * 1e-6 }
+
+// Power evaluates the run-time dynamic power of the component: the maximum
+// power scaled by the activity factor extracted by the sniffers (fraction
+// of cycles the component switched) and linearly by clock frequency.
+// Activity outside [0,1] is clamped.
+func (m Model) Power(activity, freqHz float64) float64 {
+	if activity < 0 {
+		activity = 0
+	} else if activity > 1 {
+		activity = 1
+	}
+	scale := 1.0
+	if m.RefFreqHz > 0 {
+		scale = freqHz / m.RefFreqHz
+	}
+	return m.MaxPowerW * activity * scale
+}
+
+// Density returns the run-time power density in W/m² for the given activity
+// and frequency.
+func (m Model) Density(activity, freqHz float64) float64 {
+	a := m.AreaM2()
+	if a == 0 {
+		return 0
+	}
+	return m.Power(activity, freqHz) / a
+}
+
+// String formats the model as a Table 1 row.
+func (m Model) String() string {
+	return fmt.Sprintf("%-16s %9.4g W @ %.0f MHz  %.3g W/mm²  (%.3g mm²)",
+		m.Name, m.MaxPowerW, m.RefFreqHz/1e6, m.DensityWmm2, m.AreaMM2())
+}
+
+// LeakageModel adds temperature-dependent static power — the effect the
+// paper deliberately ignores at 130 nm but cites as decisive for future
+// nodes ([2], [13]: leakage grows with temperature, closing a positive
+// feedback loop with the thermal model). Leakage is modelled as a fraction
+// of the component's maximum power at the reference temperature, doubling
+// every DoubleEveryK kelvin:
+//
+//	P_leak(T) = FracAtRef · MaxPowerW · 2^((T-RefK)/DoubleEveryK)
+type LeakageModel struct {
+	FracAtRef    float64 // leakage as a fraction of MaxPowerW at RefK
+	RefK         float64 // reference temperature (typically 300 K)
+	DoubleEveryK float64
+	// CapFrac bounds the leakage at CapFrac·MaxPowerW (0 = default 4x).
+	// The exponential law is only valid over the model's calibration
+	// range; without a cap a true thermal runaway diverges numerically
+	// instead of settling at the physical failure ceiling.
+	CapFrac float64
+}
+
+// Default130nm returns a mild leakage model consistent with the paper's
+// "very limited impact" statement at 130 nm.
+func Default130nm() LeakageModel {
+	return LeakageModel{FracAtRef: 0.02, RefK: 300, DoubleEveryK: 25, CapFrac: 1}
+}
+
+// Default65nm returns an aggressive model for exploring future-node
+// behaviour (leakage a quarter of max power at ambient, doubling every
+// 20 K).
+func Default65nm() LeakageModel {
+	return LeakageModel{FracAtRef: 0.25, RefK: 300, DoubleEveryK: 20, CapFrac: 3}
+}
+
+// Power evaluates the leakage of component m at temperature tempK.
+func (l LeakageModel) Power(m Model, tempK float64) float64 {
+	if l.FracAtRef <= 0 || l.DoubleEveryK <= 0 {
+		return 0
+	}
+	p := l.FracAtRef * m.MaxPowerW * math.Exp2((tempK-l.RefK)/l.DoubleEveryK)
+	cap := l.CapFrac
+	if cap <= 0 {
+		cap = 4
+	}
+	if max := cap * m.MaxPowerW; p > max {
+		return max
+	}
+	return p
+}
+
+// DVFSPoint pairs an operating frequency with its minimum supply voltage.
+type DVFSPoint struct {
+	FreqHz uint64
+	Volt   float64
+}
+
+// DVFSCurve is a frequency/voltage operating table, ordered by frequency.
+// With voltage scaling, dynamic power goes as f·V², so dropping from the
+// top to the bottom operating point saves far more than frequency scaling
+// alone — the natural extension of the paper's DFS policy.
+type DVFSCurve []DVFSPoint
+
+// Default130nmCurve returns a 1.2 V @ 500 MHz ... 0.8 V @ 100 MHz table.
+func Default130nmCurve() DVFSCurve {
+	return DVFSCurve{
+		{FreqHz: 100e6, Volt: 0.8},
+		{FreqHz: 200e6, Volt: 0.9},
+		{FreqHz: 300e6, Volt: 1.0},
+		{FreqHz: 400e6, Volt: 1.1},
+		{FreqHz: 500e6, Volt: 1.2},
+	}
+}
+
+// VoltAt returns the supply voltage for the given frequency: the lowest
+// tabulated point at or above it (the highest point when f exceeds the
+// table).
+func (c DVFSCurve) VoltAt(freqHz uint64) float64 {
+	if len(c) == 0 {
+		return 1
+	}
+	for _, p := range c {
+		if freqHz <= p.FreqHz {
+			return p.Volt
+		}
+	}
+	return c[len(c)-1].Volt
+}
+
+// PowerDVFS evaluates dynamic power with both frequency and quadratic
+// voltage scaling relative to the curve's top operating point.
+func (m Model) PowerDVFS(activity float64, freqHz float64, curve DVFSCurve) float64 {
+	p := m.Power(activity, freqHz)
+	if len(curve) == 0 {
+		return p
+	}
+	vTop := curve[len(curve)-1].Volt
+	v := curve.VoltAt(uint64(freqHz))
+	return p * (v * v) / (vTop * vTop)
+}

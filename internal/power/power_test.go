@@ -1,0 +1,204 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable1Values(t *testing.T) {
+	// The exact rows of the paper's Table 1.
+	rows := Table1()
+	if len(rows) != 5 {
+		t.Fatalf("Table 1 has %d rows", len(rows))
+	}
+	check := func(m Model, watts, density, ref float64) {
+		t.Helper()
+		if m.MaxPowerW != watts || m.DensityWmm2 != density {
+			t.Errorf("%s: %g W / %g W/mm², want %g / %g", m.Name, m.MaxPowerW, m.DensityWmm2, watts, density)
+		}
+		if m.RefFreqHz != ref {
+			t.Errorf("%s: ref freq %g, want %g", m.Name, m.RefFreqHz, ref)
+		}
+	}
+	check(ARM7, 5.5e-3, 0.03, 100e6)
+	// The ARM11's "(Max)" rating anchors at its 500 MHz operating point.
+	check(ARM11, 1.5, 0.5, 500e6)
+	check(DCache8K2W, 43e-3, 0.012, 100e6)
+	check(ICache8KDM, 11e-3, 0.03, 100e6)
+	check(Mem32K, 15e-3, 0.02, 100e6)
+}
+
+func TestImpliedAreas(t *testing.T) {
+	if a := ARM11.AreaMM2(); math.Abs(a-3.0) > 1e-12 {
+		t.Errorf("ARM11 area = %g mm², want 3", a)
+	}
+	if a := Mem32K.AreaMM2(); math.Abs(a-0.75) > 1e-12 {
+		t.Errorf("Mem32K area = %g mm², want 0.75", a)
+	}
+	if a := ARM7.AreaM2(); math.Abs(a-5.5e-3/0.03*1e-6) > 1e-18 {
+		t.Errorf("ARM7 area m² = %g", a)
+	}
+	if (Model{}).AreaMM2() != 0 {
+		t.Error("zero model area should be 0")
+	}
+}
+
+func TestActivityScaling(t *testing.T) {
+	// Full activity at reference frequency gives max power.
+	if p := ARM7.Power(1.0, 100e6); p != 5.5e-3 {
+		t.Errorf("max power = %g", p)
+	}
+	// Half activity halves power; 5x frequency multiplies by 5.
+	if p := ARM7.Power(0.5, 500e6); math.Abs(p-5.5e-3*2.5) > 1e-15 {
+		t.Errorf("scaled power = %g", p)
+	}
+	// Idle component burns nothing (leakage ignored per the paper).
+	if p := ARM11.Power(0, 500e6); p != 0 {
+		t.Errorf("idle power = %g", p)
+	}
+}
+
+func TestActivityClamping(t *testing.T) {
+	if p := ARM7.Power(-0.5, 100e6); p != 0 {
+		t.Errorf("negative activity gave %g", p)
+	}
+	if p := ARM7.Power(1.5, 100e6); p != 5.5e-3 {
+		t.Errorf("activity > 1 gave %g", p)
+	}
+}
+
+func TestDensityConsistentWithPower(t *testing.T) {
+	d := ARM11.Density(1.0, 500e6)
+	want := ARM11.MaxPowerW / ARM11.AreaM2()
+	if math.Abs(d-want)/want > 1e-12 {
+		t.Errorf("density = %g, want %g", d, want)
+	}
+	// At max activity and reference frequency it equals the Table 1
+	// density (in W/m²).
+	if math.Abs(d-0.5e6) > 1e-6 {
+		t.Errorf("ARM11 density = %g W/m², want 5e5", d)
+	}
+}
+
+// Property: power is monotone in activity and frequency, and never negative.
+func TestPowerMonotoneQuick(t *testing.T) {
+	f := func(a1, a2, f1, f2 uint16) bool {
+		act1, act2 := float64(a1)/65535, float64(a2)/65535
+		fr1, fr2 := float64(f1)*1e4, float64(f2)*1e4
+		p11 := ARM11.Power(act1, fr1)
+		if p11 < 0 {
+			return false
+		}
+		if act2 >= act1 && ARM11.Power(act2, fr1) < p11 {
+			return false
+		}
+		if fr2 >= fr1 && ARM11.Power(act1, fr2) < p11 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := ARM7.String()
+	if !strings.Contains(s, "ARM7") || !strings.Contains(s, "mm²") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestLeakageModel(t *testing.T) {
+	l := Default130nm()
+	// At the reference temperature: the configured fraction.
+	if got := l.Power(ARM11, 300); math.Abs(got-0.02*1.5) > 1e-12 {
+		t.Errorf("leakage at 300 K = %g", got)
+	}
+	// One doubling interval hotter: exactly twice.
+	if got := l.Power(ARM11, 325); math.Abs(got-2*0.02*1.5) > 1e-12 {
+		t.Errorf("leakage at 325 K = %g", got)
+	}
+	// Cooler than reference: less than the base fraction.
+	if got := l.Power(ARM11, 280); got >= 0.02*1.5 {
+		t.Errorf("leakage at 280 K = %g not reduced", got)
+	}
+	// Zero model leaks nothing.
+	if got := (LeakageModel{}).Power(ARM11, 400); got != 0 {
+		t.Errorf("zero model leaked %g", got)
+	}
+	// The aggressive model dominates dynamic power when hot.
+	hot := Default65nm().Power(ARM11, 380)
+	if hot <= ARM11.MaxPowerW {
+		t.Errorf("65nm leakage at 380 K = %g, expected thermal-runaway territory", hot)
+	}
+}
+
+// Property: leakage is monotone in temperature.
+func TestLeakageMonotoneQuick(t *testing.T) {
+	l := Default65nm()
+	f := func(a, b uint16) bool {
+		t1 := 280 + float64(a%200)
+		t2 := 280 + float64(b%200)
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		return l.Power(ARM7, t1) <= l.Power(ARM7, t2)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDVFSCurve(t *testing.T) {
+	c := Default130nmCurve()
+	if v := c.VoltAt(100e6); v != 0.8 {
+		t.Errorf("V(100MHz) = %v", v)
+	}
+	if v := c.VoltAt(500e6); v != 1.2 {
+		t.Errorf("V(500MHz) = %v", v)
+	}
+	if v := c.VoltAt(250e6); v != 1.0 {
+		t.Errorf("V(250MHz) = %v, want next point up", v)
+	}
+	if v := c.VoltAt(900e6); v != 1.2 {
+		t.Errorf("V beyond table = %v", v)
+	}
+	if v := (DVFSCurve{}).VoltAt(1e6); v != 1 {
+		t.Errorf("empty curve voltage = %v", v)
+	}
+}
+
+func TestPowerDVFSQuadraticSavings(t *testing.T) {
+	c := Default130nmCurve()
+	top := ARM11.PowerDVFS(1, 500e6, c)
+	if math.Abs(top-ARM11.MaxPowerW) > 1e-12 {
+		t.Errorf("top operating point = %g, want max power", top)
+	}
+	// At 100 MHz: frequency alone gives 1/5; voltage adds (0.8/1.2)^2.
+	low := ARM11.PowerDVFS(1, 100e6, c)
+	want := ARM11.MaxPowerW / 5 * (0.8 * 0.8) / (1.2 * 1.2)
+	if math.Abs(low-want) > 1e-12 {
+		t.Errorf("low operating point = %g, want %g", low, want)
+	}
+	// DVFS saves strictly more than DFS alone.
+	if dfsOnly := ARM11.Power(1, 100e6); low >= dfsOnly {
+		t.Errorf("DVFS (%g) not below DFS-only (%g)", low, dfsOnly)
+	}
+}
+
+func TestLeakageCapBoundsRunaway(t *testing.T) {
+	l := Default65nm()
+	// Far beyond the calibration range the model saturates at the cap
+	// instead of diverging.
+	if got := l.Power(ARM11, 10000); got != 3*ARM11.MaxPowerW {
+		t.Errorf("capped leakage = %g, want %g", got, 3*ARM11.MaxPowerW)
+	}
+	// Default cap is 4x when unset.
+	uncapped := LeakageModel{FracAtRef: 0.5, RefK: 300, DoubleEveryK: 10}
+	if got := uncapped.Power(ARM7, 1000); got != 4*ARM7.MaxPowerW {
+		t.Errorf("default cap = %g, want %g", got, 4*ARM7.MaxPowerW)
+	}
+}

@@ -1,0 +1,564 @@
+// Package thermal is the configurable SW thermal-modelling library of the
+// framework (Section 5 of the DAC'06 paper). It evaluates the run-time
+// thermal behaviour of a silicon bulk chip: the die and the copper heat
+// spreader are divided into cells of several sizes (small cells at the
+// crucial points for high resolution, larger ones elsewhere), and each cell
+// becomes a node of an equivalent electrical RC circuit with four lateral
+// thermal resistances, one vertical resistance and one capacitance
+// (Figure 3).
+//
+// Following the paper, silicon uses non-linear thermal resistances that
+// match the temperature dependence of conductivity, k(T) = 150·(300/T)^4/3
+// W/mK, while the copper spreader uses linear resistances. Heat enters as
+// equivalent current sources on the bottom-surface cells (power density of
+// the covering architectural component times cell area); no heat leaves
+// through the package below, and the top-surface cells evacuate heat by
+// natural convection through a package-to-air resistance weighted by the
+// cell-to-spreader area ratio. Every cell interacts only with its
+// neighbours, so cost is linear in the number of cells.
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Properties are the material and package constants of Table 2.
+type Properties struct {
+	SiK300   float64 // silicon conductivity at 300 K, W/(m·K)
+	SiKExp   float64 // exponent of the (300/T) conductivity law
+	SiCv     float64 // silicon volumetric specific heat, J/(m³·K)
+	SiThick  float64 // die thickness, m
+	CuK      float64 // copper conductivity, W/(m·K)
+	CuCv     float64 // copper volumetric specific heat, J/(m³·K)
+	CuThick  float64 // heat-spreader thickness, m
+	PkgRes   float64 // package-to-air resistance, K/W
+	AmbientK float64 // ambient temperature, K
+}
+
+// DefaultProperties returns Table 2 of the paper. The specific heats are
+// the paper's 1.628e-12 and 3.55e-12 J/(µm³·K) converted to SI, and the
+// 20 K/W package-to-air resistance is the paper's deliberately conservative
+// low-power package value.
+func DefaultProperties() Properties {
+	return Properties{
+		SiK300:   150,
+		SiKExp:   4.0 / 3.0,
+		SiCv:     1.628e6,
+		SiThick:  350e-6,
+		CuK:      400,
+		CuCv:     3.55e6,
+		CuThick:  1000e-6,
+		PkgRes:   20,
+		AmbientK: 300,
+	}
+}
+
+// Validate checks physical plausibility.
+func (p Properties) Validate() error {
+	switch {
+	case p.SiK300 <= 0 || p.CuK <= 0:
+		return fmt.Errorf("thermal: conductivities must be positive")
+	case p.SiCv <= 0 || p.CuCv <= 0:
+		return fmt.Errorf("thermal: specific heats must be positive")
+	case p.SiThick <= 0 || p.CuThick <= 0:
+		return fmt.Errorf("thermal: thicknesses must be positive")
+	case p.PkgRes <= 0:
+		return fmt.Errorf("thermal: package resistance must be positive")
+	case p.AmbientK <= 0:
+		return fmt.Errorf("thermal: ambient temperature must be positive")
+	}
+	return nil
+}
+
+// SiConductivity evaluates the non-linear silicon conductivity at T kelvin.
+// The paper's exponent 4/3 is evaluated as x·cbrt(x), which is considerably
+// cheaper than math.Pow on the solver's hot path; other exponents fall back
+// to math.Pow.
+func (p Properties) SiConductivity(t float64) float64 {
+	x := 300 / t
+	if p.SiKExp == 4.0/3.0 {
+		return p.SiK300 * x * math.Cbrt(x)
+	}
+	return p.SiK300 * math.Pow(x, p.SiKExp)
+}
+
+// Rect is an axis-aligned cell footprint in metres.
+type Rect struct {
+	X, Y, W, H float64
+}
+
+// Area returns the footprint area in m².
+func (r Rect) Area() float64 { return r.W * r.H }
+
+// Overlap returns the overlapping area of two footprints.
+func (r Rect) Overlap(o Rect) float64 {
+	w := math.Min(r.X+r.W, o.X+o.W) - math.Max(r.X, o.X)
+	h := math.Min(r.Y+r.H, o.Y+o.H) - math.Max(r.Y, o.Y)
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+const geomEps = 1e-9 // 1 nm tolerance on geometric coincidence
+
+// contact returns the shared boundary length between two cells that abut
+// laterally, and whether they do.
+func contact(a, b Rect) (float64, bool) {
+	// b to the right of a or a to the right of b.
+	if math.Abs(a.X+a.W-b.X) < geomEps || math.Abs(b.X+b.W-a.X) < geomEps {
+		l := math.Min(a.Y+a.H, b.Y+b.H) - math.Max(a.Y, b.Y)
+		if l > geomEps {
+			return l, true
+		}
+	}
+	if math.Abs(a.Y+a.H-b.Y) < geomEps || math.Abs(b.Y+b.H-a.Y) < geomEps {
+		l := math.Min(a.X+a.W, b.X+b.W) - math.Max(a.X, b.X)
+		if l > geomEps {
+			return l, true
+		}
+	}
+	return 0, false
+}
+
+// Options configures mesh construction.
+type Options struct {
+	Props Properties
+	NzSi  int // silicon sub-layers (>=1)
+	NzCu  int // copper sub-layers (>=1)
+}
+
+// DefaultOptions returns Table 2 properties with one sub-layer per material.
+func DefaultOptions() Options {
+	return Options{Props: DefaultProperties(), NzSi: 1, NzCu: 1}
+}
+
+type cell struct {
+	r     Rect
+	si    bool
+	thick float64
+	cap   float64 // thermal capacitance, J/K
+}
+
+// edge joins cells a and b with contact area and half-distances da, db from
+// each node to the interface; conductance = area / (da/ka + db/kb).
+type edge struct {
+	a, b   int
+	area   float64
+	da, db float64
+	g      float64 // cached conductance
+	fixed  bool    // true when neither side is silicon (g never changes)
+}
+
+// Model is the RC thermal network.
+type Model struct {
+	props    Properties
+	nSi2D    int // cells per silicon sub-layer
+	nzSi     int
+	cells    []cell
+	edges    []edge
+	convG    []float64 // per-cell convection conductance paired with convIdx
+	convIdx  []int
+	t        []float64 // temperatures, K
+	pw       []float64 // injected power, W (bottom silicon cells)
+	time     float64
+	sumG     []float64 // per-cell total conductance (for stability)
+	spreader float64   // spreader area, m²
+	kCell    []float64 // per-cell conductivity at the last refresh
+	tAtK     []float64 // temperatures the conductances were evaluated at
+	flow     []float64 // scratch buffer for Step
+}
+
+// NewModel builds the RC network. siCells is the 2D die discretisation
+// (cells of several sizes are allowed; they must tile without overlapping),
+// and cuCells the heat-spreader discretisation (commonly coarser). The two
+// grids are replicated across NzSi and NzCu sub-layers. Power is injected
+// on the bottom silicon sub-layer; convection leaves the top copper
+// sub-layer.
+func NewModel(siCells, cuCells []Rect, opt Options) (*Model, error) {
+	if err := opt.Props.Validate(); err != nil {
+		return nil, err
+	}
+	if len(siCells) == 0 || len(cuCells) == 0 {
+		return nil, fmt.Errorf("thermal: both grids must be non-empty")
+	}
+	if opt.NzSi < 1 || opt.NzCu < 1 {
+		return nil, fmt.Errorf("thermal: sub-layer counts must be >= 1")
+	}
+	for i, a := range siCells {
+		for _, b := range siCells[i+1:] {
+			if a.Overlap(b) > geomEps*geomEps {
+				return nil, fmt.Errorf("thermal: overlapping silicon cells %v %v", a, b)
+			}
+		}
+	}
+	m := &Model{props: opt.Props, nSi2D: len(siCells), nzSi: opt.NzSi}
+	tSi := opt.Props.SiThick / float64(opt.NzSi)
+	tCu := opt.Props.CuThick / float64(opt.NzCu)
+	for z := 0; z < opt.NzSi; z++ {
+		for _, r := range siCells {
+			m.cells = append(m.cells, cell{r: r, si: true, thick: tSi,
+				cap: opt.Props.SiCv * r.Area() * tSi})
+		}
+	}
+	for z := 0; z < opt.NzCu; z++ {
+		for _, r := range cuCells {
+			m.cells = append(m.cells, cell{r: r, si: false, thick: tCu,
+				cap: opt.Props.CuCv * r.Area() * tCu})
+		}
+	}
+	for _, r := range cuCells {
+		m.spreader += r.Area()
+	}
+
+	// Lateral edges within each sub-layer.
+	addLateral := func(base int, grid []Rect, thick float64) {
+		for i := 0; i < len(grid); i++ {
+			for j := i + 1; j < len(grid); j++ {
+				if l, ok := contact(grid[i], grid[j]); ok {
+					a, b := base+i, base+j
+					var da, db float64
+					// Half the centre distance along the contact normal.
+					if math.Abs(grid[i].X+grid[i].W-grid[j].X) < geomEps ||
+						math.Abs(grid[j].X+grid[j].W-grid[i].X) < geomEps {
+						da, db = grid[i].W/2, grid[j].W/2
+					} else {
+						da, db = grid[i].H/2, grid[j].H/2
+					}
+					m.edges = append(m.edges, edge{a: a, b: b, area: l * thick, da: da, db: db})
+				}
+			}
+		}
+	}
+	for z := 0; z < opt.NzSi; z++ {
+		addLateral(z*len(siCells), siCells, tSi)
+	}
+	cuBase := opt.NzSi * len(siCells)
+	for z := 0; z < opt.NzCu; z++ {
+		addLateral(cuBase+z*len(cuCells), cuCells, tCu)
+	}
+
+	// Vertical edges between consecutive silicon sub-layers.
+	for z := 0; z+1 < opt.NzSi; z++ {
+		for i := range siCells {
+			m.edges = append(m.edges, edge{a: z*len(siCells) + i, b: (z+1)*len(siCells) + i,
+				area: siCells[i].Area(), da: tSi / 2, db: tSi / 2})
+		}
+	}
+	// Vertical edges from top silicon sub-layer into bottom copper
+	// sub-layer, by footprint overlap (the grids may differ).
+	topSi := (opt.NzSi - 1) * len(siCells)
+	for i, s := range siCells {
+		coupled := 0.0
+		for j, c := range cuCells {
+			if ov := s.Overlap(c); ov > geomEps*geomEps {
+				m.edges = append(m.edges, edge{a: topSi + i, b: cuBase + j,
+					area: ov, da: tSi / 2, db: tCu / 2})
+				coupled += ov
+			}
+		}
+		if coupled < s.Area()*0.999 {
+			return nil, fmt.Errorf("thermal: silicon cell %d (%v) not fully covered by the spreader grid", i, s)
+		}
+	}
+	// Vertical edges between copper sub-layers.
+	for z := 0; z+1 < opt.NzCu; z++ {
+		for i := range cuCells {
+			m.edges = append(m.edges, edge{a: cuBase + z*len(cuCells) + i,
+				b:    cuBase + (z+1)*len(cuCells) + i,
+				area: cuCells[i].Area(), da: tCu / 2, db: tCu / 2})
+		}
+	}
+
+	// Convection from the top copper sub-layer: half the cell's vertical
+	// resistance in series with the package-to-air resistance weighted by
+	// the cell/spreader area ratio (paper Section 5.2).
+	topCu := cuBase + (opt.NzCu-1)*len(cuCells)
+	for i, c := range cuCells {
+		rHalf := (tCu / 2) / (opt.Props.CuK * c.Area())
+		rConv := opt.Props.PkgRes * (m.spreader / c.Area())
+		m.convIdx = append(m.convIdx, topCu+i)
+		m.convG = append(m.convG, 1/(rHalf+rConv))
+	}
+
+	m.t = make([]float64, len(m.cells))
+	for i := range m.t {
+		m.t[i] = opt.Props.AmbientK
+	}
+	m.pw = make([]float64, len(siCells)) // bottom silicon sub-layer only
+	m.sumG = make([]float64, len(m.cells))
+	m.updateConductances()
+	return m, nil
+}
+
+// NumCells returns the total node count of the RC network.
+func (m *Model) NumCells() int { return len(m.cells) }
+
+// NumSurfaceCells returns the number of bottom-silicon cells, i.e. the
+// power-injection resolution.
+func (m *Model) NumSurfaceCells() int { return m.nSi2D }
+
+// NumEdges returns the resistor count (excluding convection resistors).
+func (m *Model) NumEdges() int { return len(m.edges) }
+
+// Time returns the simulated time in seconds.
+func (m *Model) Time() float64 { return m.time }
+
+// SetPower sets the injected power (W) of bottom-surface cell i.
+func (m *Model) SetPower(i int, watts float64) { m.pw[i] = watts }
+
+// SetPowers replaces the whole injected power vector; its length must be
+// NumSurfaceCells.
+func (m *Model) SetPowers(watts []float64) error {
+	if len(watts) != m.nSi2D {
+		return fmt.Errorf("thermal: power vector length %d, want %d", len(watts), m.nSi2D)
+	}
+	copy(m.pw, watts)
+	return nil
+}
+
+// TotalPower returns the currently injected power in watts.
+func (m *Model) TotalPower() float64 {
+	var s float64
+	for _, p := range m.pw {
+		s += p
+	}
+	return s
+}
+
+// Temp returns the temperature of bottom-surface cell i (what an on-die
+// sensor in that cell reads).
+func (m *Model) Temp(i int) float64 { return m.t[i] }
+
+// Temps copies the bottom-surface temperatures into a fresh slice.
+func (m *Model) Temps() []float64 {
+	out := make([]float64, m.nSi2D)
+	copy(out, m.t[:m.nSi2D])
+	return out
+}
+
+// AllTemps copies every node temperature (layer-major, silicon first).
+func (m *Model) AllTemps() []float64 {
+	out := make([]float64, len(m.t))
+	copy(out, m.t)
+	return out
+}
+
+// MaxTemp returns the hottest bottom-surface temperature.
+func (m *Model) MaxTemp() float64 {
+	max := m.t[0]
+	for _, v := range m.t[1:m.nSi2D] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// ConvectedPower returns the instantaneous heat flow into the ambient, W.
+func (m *Model) ConvectedPower() float64 {
+	var q float64
+	for k, ci := range m.convIdx {
+		q += m.convG[k] * (m.t[ci] - m.props.AmbientK)
+	}
+	return q
+}
+
+// updateConductances refreshes edge conductances using the current cell
+// temperatures for the non-linear silicon law, and recomputes the per-cell
+// conductance sums used for the stability bound. It also records the
+// temperatures it used, so the solver can skip refreshes while temperatures
+// have barely moved (the conductivity law is smooth: a 0.25 K drift changes
+// k by well under 0.2%).
+func (m *Model) updateConductances() {
+	if m.kCell == nil {
+		m.kCell = make([]float64, len(m.cells))
+		m.tAtK = make([]float64, len(m.cells))
+	}
+	for i := range m.cells {
+		if m.cells[i].si {
+			m.kCell[i] = m.props.SiConductivity(m.t[i])
+		} else {
+			m.kCell[i] = m.props.CuK
+		}
+		m.tAtK[i] = m.t[i]
+	}
+	for i := range m.sumG {
+		m.sumG[i] = 0
+	}
+	for i := range m.edges {
+		e := &m.edges[i]
+		if !e.fixed || e.g == 0 {
+			e.g = e.area / (e.da/m.kCell[e.a] + e.db/m.kCell[e.b])
+			if !m.cells[e.a].si && !m.cells[e.b].si {
+				e.fixed = true
+			}
+		}
+		m.sumG[e.a] += e.g
+		m.sumG[e.b] += e.g
+	}
+	for i, ci := range m.convIdx {
+		m.sumG[ci] += m.convG[i]
+	}
+}
+
+// conductancesStale reports whether any silicon temperature drifted more
+// than tol kelvin since the last conductance refresh.
+func (m *Model) conductancesStale(tol float64) bool {
+	if m.tAtK == nil {
+		return true
+	}
+	for i := 0; i < m.nSi2D*m.nzSi; i++ {
+		d := m.t[i] - m.tAtK[i]
+		if d > tol || d < -tol {
+			return true
+		}
+	}
+	return false
+}
+
+// stableDt returns a forward-Euler-stable sub-step: half the smallest
+// thermal time constant C/ΣG in the network.
+func (m *Model) stableDt() float64 {
+	min := math.Inf(1)
+	for i := range m.cells {
+		if m.sumG[i] > 0 {
+			if tau := m.cells[i].cap / m.sumG[i]; tau < min {
+				min = tau
+			}
+		}
+	}
+	return 0.5 * min
+}
+
+// Step advances the thermal state by dt seconds using forward Euler with
+// stability-limited sub-stepping; the silicon conductances are refreshed
+// whenever any silicon temperature has drifted more than 0.25 K since they
+// were last evaluated, so the non-linear law tracks the trajectory at a
+// negligible fraction of the cost of per-sub-step re-evaluation.
+func (m *Model) Step(dt float64) {
+	if m.flow == nil {
+		m.flow = make([]float64, len(m.cells))
+	}
+	flow := m.flow
+	h := m.stableDt()
+	for remaining := dt; remaining > 1e-15; {
+		if m.conductancesStale(0.25) {
+			m.updateConductances()
+			h = m.stableDt()
+		}
+		if h > remaining {
+			h = remaining
+		}
+		for i := range flow {
+			flow[i] = 0
+		}
+		for i := range m.edges {
+			e := &m.edges[i]
+			q := e.g * (m.t[e.a] - m.t[e.b])
+			flow[e.a] -= q
+			flow[e.b] += q
+		}
+		for k, ci := range m.convIdx {
+			flow[ci] -= m.convG[k] * (m.t[ci] - m.props.AmbientK)
+		}
+		for i := range m.pw {
+			flow[i] += m.pw[i]
+		}
+		for i := range m.cells {
+			m.t[i] += h * flow[i] / m.cells[i].cap
+		}
+		remaining -= h
+	}
+	m.time += dt
+}
+
+// SteadyState relaxes the network to its equilibrium for the current power
+// vector with Gauss–Seidel iteration (non-linear conductances refreshed per
+// sweep). It returns the number of sweeps used, or an error if tolerance is
+// not met within maxSweeps.
+func (m *Model) SteadyState(tol float64, maxSweeps int) (int, error) {
+	type adj struct {
+		other int
+		eidx  int
+	}
+	neigh := make([][]adj, len(m.cells))
+	for i, e := range m.edges {
+		neigh[e.a] = append(neigh[e.a], adj{e.b, i})
+		neigh[e.b] = append(neigh[e.b], adj{e.a, i})
+	}
+	conv := make([]float64, len(m.cells))
+	for k, ci := range m.convIdx {
+		conv[ci] = m.convG[k]
+	}
+	for sweep := 1; sweep <= maxSweeps; sweep++ {
+		m.updateConductances()
+		var maxDelta float64
+		for i := range m.cells {
+			num := conv[i] * m.props.AmbientK
+			den := conv[i]
+			if i < len(m.pw) {
+				num += m.pw[i]
+			}
+			for _, a := range neigh[i] {
+				g := m.edges[a.eidx].g
+				num += g * m.t[a.other]
+				den += g
+			}
+			if den == 0 {
+				continue
+			}
+			nt := num / den
+			if d := math.Abs(nt - m.t[i]); d > maxDelta {
+				maxDelta = d
+			}
+			m.t[i] = nt
+		}
+		if maxDelta < tol {
+			return sweep, nil
+		}
+	}
+	return maxSweeps, fmt.Errorf("thermal: steady state did not converge to %g in %d sweeps", tol, maxSweeps)
+}
+
+// Reset returns every node to ambient and clears simulated time (the power
+// vector is preserved).
+func (m *Model) Reset() {
+	for i := range m.t {
+		m.t[i] = m.props.AmbientK
+	}
+	m.time = 0
+}
+
+// UniformGrid tiles a w×h metre die into nx×ny equal cells.
+func UniformGrid(w, h float64, nx, ny int) []Rect {
+	cells := make([]Rect, 0, nx*ny)
+	cw, ch := w/float64(nx), h/float64(ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			cells = append(cells, Rect{X: float64(i) * cw, Y: float64(j) * ch, W: cw, H: ch})
+		}
+	}
+	return cells
+}
+
+// RefineGrid splits every cell selected by pick into 2×2 sub-cells,
+// producing the multi-resolution grids of Figure 3(a): smallest cells at
+// the crucial points, larger ones where conditions are not critical.
+func RefineGrid(cells []Rect, pick func(Rect) bool) []Rect {
+	var out []Rect
+	for _, c := range cells {
+		if pick(c) {
+			hw, hh := c.W/2, c.H/2
+			out = append(out,
+				Rect{c.X, c.Y, hw, hh},
+				Rect{c.X + hw, c.Y, hw, hh},
+				Rect{c.X, c.Y + hh, hw, hh},
+				Rect{c.X + hw, c.Y + hh, hw, hh})
+		} else {
+			out = append(out, c)
+		}
+	}
+	return out
+}

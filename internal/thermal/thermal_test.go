@@ -1,0 +1,442 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func singleColumn(t *testing.T, area float64) *Model {
+	t.Helper()
+	side := math.Sqrt(area)
+	si := []Rect{{0, 0, side, side}}
+	cu := []Rect{{0, 0, side, side}}
+	m, err := NewModel(si, cu, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestAnalyticalColumn checks the solver against the closed-form
+// steady-state of a single Si+Cu column: T = Tamb + P*(Rsi/2 + Rcu + Rpkg),
+// with the silicon resistance evaluated at the converged temperature
+// (non-linear fixed point iterated analytically).
+func TestAnalyticalColumn(t *testing.T) {
+	p := DefaultProperties()
+	area := 1e-6 // 1 mm²
+	pw := 0.1    // W
+	m := singleColumn(t, area)
+	m.SetPower(0, pw)
+	if _, err := m.SteadyState(1e-9, 10000); err != nil {
+		t.Fatal(err)
+	}
+	// Analytic fixed point.
+	tsi := p.AmbientK
+	for i := 0; i < 200; i++ {
+		k := p.SiConductivity(tsi)
+		r := (p.SiThick/2)/(k*area) + (p.CuThick/2)/(p.CuK*area) + // Si node -> Cu node
+			(p.CuThick/2)/(p.CuK*area) + p.PkgRes // Cu node -> ambient
+		tsi = p.AmbientK + pw*r
+	}
+	if got := m.Temp(0); math.Abs(got-tsi) > 1e-4 {
+		t.Errorf("steady Si temp = %.6f K, analytic %.6f K", got, tsi)
+	}
+}
+
+func TestEnergyBalanceAtSteadyState(t *testing.T) {
+	si := UniformGrid(4e-3, 4e-3, 6, 6)
+	cu := UniformGrid(4e-3, 4e-3, 3, 3)
+	m, err := NewModel(si, cu, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.NumSurfaceCells(); i++ {
+		m.SetPower(i, 0.01)
+	}
+	if _, err := m.SteadyState(1e-10, 50000); err != nil {
+		t.Fatal(err)
+	}
+	in, out := m.TotalPower(), m.ConvectedPower()
+	if math.Abs(in-out)/in > 1e-5 {
+		t.Errorf("energy balance: in %.9f W, convected %.9f W", in, out)
+	}
+}
+
+func TestZeroPowerStaysAmbient(t *testing.T) {
+	m := singleColumn(t, 1e-6)
+	m.Step(0.1)
+	if got := m.Temp(0); math.Abs(got-300) > 1e-12 {
+		t.Errorf("temp drifted to %v with zero power", got)
+	}
+}
+
+func TestTransientConvergesToSteadyState(t *testing.T) {
+	si := UniformGrid(2e-3, 2e-3, 4, 4)
+	cu := UniformGrid(2e-3, 2e-3, 2, 2)
+	mT, _ := NewModel(si, cu, DefaultOptions())
+	mS, _ := NewModel(si, cu, DefaultOptions())
+	for i := 0; i < mT.NumSurfaceCells(); i++ {
+		w := 0.002 * float64(1+i%3)
+		mT.SetPower(i, w)
+		mS.SetPower(i, w)
+	}
+	// Integrate long enough (several seconds: package time constants).
+	for i := 0; i < 400; i++ {
+		mT.Step(0.05)
+	}
+	if _, err := mS.SteadyState(1e-10, 50000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < mT.NumSurfaceCells(); i++ {
+		if d := math.Abs(mT.Temp(i) - mS.Temp(i)); d > 0.01 {
+			t.Fatalf("cell %d: transient %.4f vs steady %.4f", i, mT.Temp(i), mS.Temp(i))
+		}
+	}
+}
+
+func TestTransientMonotoneHeating(t *testing.T) {
+	m := singleColumn(t, 1e-6)
+	m.SetPower(0, 0.05)
+	prev := m.Temp(0)
+	for i := 0; i < 50; i++ {
+		m.Step(0.01)
+		cur := m.Temp(0)
+		if cur < prev-1e-12 {
+			t.Fatalf("temperature fell during constant heating at step %d", i)
+		}
+		prev = cur
+	}
+	if math.Abs(m.Time()-0.5) > 1e-12 {
+		t.Errorf("time = %v", m.Time())
+	}
+}
+
+func TestHotspotSpreading(t *testing.T) {
+	si := UniformGrid(4e-3, 4e-3, 8, 8)
+	cu := UniformGrid(4e-3, 4e-3, 4, 4)
+	m, _ := NewModel(si, cu, DefaultOptions())
+	// Single hot cell in the corner.
+	m.SetPower(0, 0.3)
+	if _, err := m.SteadyState(1e-9, 50000); err != nil {
+		t.Fatal(err)
+	}
+	// The heated cell is the hottest; the far corner is the coolest; all
+	// cells are above ambient.
+	temps := m.Temps()
+	if m.MaxTemp() != temps[0] {
+		t.Errorf("hotspot not hottest: max %.3f, cell0 %.3f", m.MaxTemp(), temps[0])
+	}
+	far := temps[len(temps)-1]
+	if far >= temps[0] {
+		t.Error("far corner as hot as the hotspot")
+	}
+	for i, v := range temps {
+		if v <= 300 {
+			t.Fatalf("cell %d at %.3f K not above ambient", i, v)
+		}
+	}
+}
+
+func TestMorePowerMeansHotter(t *testing.T) {
+	lo := singleColumn(t, 1e-6)
+	hi := singleColumn(t, 1e-6)
+	lo.SetPower(0, 0.01)
+	hi.SetPower(0, 0.02)
+	lo.SteadyState(1e-9, 10000)
+	hi.SteadyState(1e-9, 10000)
+	if hi.Temp(0) <= lo.Temp(0) {
+		t.Errorf("2x power not hotter: %.4f vs %.4f", hi.Temp(0), lo.Temp(0))
+	}
+}
+
+// Property: for any positive power on a small mesh, steady temperatures are
+// above ambient and bounded by the single-resistance worst case.
+func TestSteadyStateBoundsQuick(t *testing.T) {
+	f := func(milliwatts uint8) bool {
+		pw := float64(milliwatts%100+1) * 1e-3
+		m := singleColumn(t, 1e-6)
+		m.SetPower(0, pw)
+		if _, err := m.SteadyState(1e-8, 20000); err != nil {
+			return false
+		}
+		tmax := m.Temp(0)
+		if tmax <= 300 {
+			return false
+		}
+		// Generous upper bound: everything in series at the coldest
+		// (most resistive) silicon conductivity plausible here.
+		p := DefaultProperties()
+		kMin := p.SiConductivity(500)
+		rMax := p.SiThick/(kMin*1e-6) + p.CuThick/(p.CuK*1e-6) + p.PkgRes
+		return tmax <= 300+pw*rMax+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonlinearVsConstantConductivity(t *testing.T) {
+	si := UniformGrid(2e-3, 2e-3, 4, 4)
+	cu := UniformGrid(2e-3, 2e-3, 2, 2)
+	nl, _ := NewModel(si, cu, DefaultOptions())
+	opt := DefaultOptions()
+	opt.Props.SiKExp = 0 // constant k = 150
+	lin, _ := NewModel(si, cu, opt)
+	for i := 0; i < nl.NumSurfaceCells(); i++ {
+		nl.SetPower(i, 0.05)
+		lin.SetPower(i, 0.05)
+	}
+	nl.SteadyState(1e-9, 50000)
+	lin.SteadyState(1e-9, 50000)
+	// Hot silicon conducts worse than the 300 K value, so the non-linear
+	// model must run hotter.
+	if nl.MaxTemp() <= lin.MaxTemp() {
+		t.Errorf("non-linear %.4f K not above linear %.4f K", nl.MaxTemp(), lin.MaxTemp())
+	}
+}
+
+func TestGridRefinementConvergence(t *testing.T) {
+	// Uniform power density: coarse and fine grids must agree closely.
+	die := 4e-3
+	density := 5000.0 // W/m² (≈ ARM7-class)
+	run := func(n int) float64 {
+		si := UniformGrid(die, die, n, n)
+		cu := UniformGrid(die, die, n/2, n/2)
+		m, err := NewModel(si, cu, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range si {
+			m.SetPower(i, density*c.Area())
+		}
+		if _, err := m.SteadyState(1e-9, 100000); err != nil {
+			t.Fatal(err)
+		}
+		return m.MaxTemp()
+	}
+	coarse, fine := run(4), run(12)
+	if rel := math.Abs(coarse-fine) / (fine - 300); rel > 0.02 {
+		t.Errorf("grid refinement changed rise by %.2f%% (coarse %.4f, fine %.4f)",
+			rel*100, coarse, fine)
+	}
+}
+
+func TestMultiLayerStack(t *testing.T) {
+	si := UniformGrid(2e-3, 2e-3, 3, 3)
+	cu := UniformGrid(2e-3, 2e-3, 3, 3)
+	opt := DefaultOptions()
+	opt.NzSi, opt.NzCu = 3, 2
+	m, err := NewModel(si, cu, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCells() != 9*3+9*2 {
+		t.Errorf("cells = %d", m.NumCells())
+	}
+	m.SetPower(4, 0.2) // centre
+	if _, err := m.SteadyState(1e-9, 50000); err != nil {
+		t.Fatal(err)
+	}
+	all := m.AllTemps()
+	// Vertical gradient: bottom Si hotter than top Cu above the hotspot.
+	if all[4] <= all[len(all)-5] {
+		t.Errorf("no vertical gradient: bottom %.4f, top %.4f", all[4], all[len(all)-5])
+	}
+	// Energy balance still holds with sub-layers.
+	if in, out := m.TotalPower(), m.ConvectedPower(); math.Abs(in-out)/in > 1e-5 {
+		t.Errorf("balance: %.6f in, %.6f out", in, out)
+	}
+}
+
+func TestRefineGrid(t *testing.T) {
+	base := UniformGrid(2e-3, 2e-3, 2, 2)
+	refined := RefineGrid(base, func(r Rect) bool { return r.X == 0 && r.Y == 0 })
+	if len(refined) != 3+4 {
+		t.Fatalf("refined cells = %d", len(refined))
+	}
+	// Total area preserved.
+	var a0, a1 float64
+	for _, c := range base {
+		a0 += c.Area()
+	}
+	for _, c := range refined {
+		a1 += c.Area()
+	}
+	if math.Abs(a0-a1) > 1e-15 {
+		t.Errorf("area changed: %g vs %g", a0, a1)
+	}
+	// Mixed-resolution mesh builds and solves.
+	cu := UniformGrid(2e-3, 2e-3, 1, 1)
+	m, err := NewModel(refined, cu, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetPower(0, 0.05)
+	if _, err := m.SteadyState(1e-9, 50000); err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxTemp() <= 300 {
+		t.Error("refined mesh did not heat")
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	si := UniformGrid(1e-3, 1e-3, 2, 2)
+	cu := UniformGrid(1e-3, 1e-3, 1, 1)
+	if _, err := NewModel(nil, cu, DefaultOptions()); err == nil {
+		t.Error("nil silicon grid accepted")
+	}
+	opt := DefaultOptions()
+	opt.NzSi = 0
+	if _, err := NewModel(si, cu, opt); err == nil {
+		t.Error("zero sub-layers accepted")
+	}
+	opt = DefaultOptions()
+	opt.Props.PkgRes = -1
+	if _, err := NewModel(si, cu, opt); err == nil {
+		t.Error("negative package resistance accepted")
+	}
+	// Overlapping silicon cells rejected.
+	bad := []Rect{{0, 0, 1e-3, 1e-3}, {0.5e-3, 0, 1e-3, 1e-3}}
+	if _, err := NewModel(bad, cu, DefaultOptions()); err == nil {
+		t.Error("overlapping cells accepted")
+	}
+	// Spreader not covering the die rejected.
+	small := []Rect{{0, 0, 0.4e-3, 0.4e-3}}
+	if _, err := NewModel(si, small, DefaultOptions()); err == nil {
+		t.Error("uncovered die accepted")
+	}
+	if err := (Properties{}).Validate(); err == nil {
+		t.Error("zero properties accepted")
+	}
+}
+
+func TestSetPowersAndReset(t *testing.T) {
+	m := singleColumn(t, 1e-6)
+	if err := m.SetPowers([]float64{0.1, 0.2}); err == nil {
+		t.Error("wrong-length power vector accepted")
+	}
+	if err := m.SetPowers([]float64{0.1}); err != nil {
+		t.Fatal(err)
+	}
+	m.Step(0.5)
+	if m.Temp(0) <= 300 {
+		t.Error("did not heat")
+	}
+	m.Reset()
+	if m.Temp(0) != 300 || m.Time() != 0 {
+		t.Error("reset incomplete")
+	}
+	if m.TotalPower() != 0.1 {
+		t.Error("reset should preserve powers")
+	}
+}
+
+func TestSiConductivityLaw(t *testing.T) {
+	p := DefaultProperties()
+	if k := p.SiConductivity(300); math.Abs(k-150) > 1e-9 {
+		t.Errorf("k(300) = %v", k)
+	}
+	// Monotonically decreasing in T.
+	if p.SiConductivity(400) >= p.SiConductivity(300) {
+		t.Error("conductivity should fall with temperature")
+	}
+	// Paper's 4/3 law: k(600)/k(300) = (1/2)^(4/3).
+	want := 150 * math.Pow(0.5, 4.0/3.0)
+	if k := p.SiConductivity(600); math.Abs(k-want) > 1e-9 {
+		t.Errorf("k(600) = %v, want %v", k, want)
+	}
+}
+
+func TestRectHelpers(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	b := Rect{1, 1, 2, 2}
+	if got := a.Overlap(b); got != 1 {
+		t.Errorf("overlap = %v", got)
+	}
+	if got := a.Overlap(Rect{5, 5, 1, 1}); got != 0 {
+		t.Errorf("disjoint overlap = %v", got)
+	}
+	if l, ok := contact(Rect{0, 0, 1, 1}, Rect{1, 0, 1, 1}); !ok || l != 1 {
+		t.Errorf("contact = %v, %v", l, ok)
+	}
+	if _, ok := contact(Rect{0, 0, 1, 1}, Rect{2, 0, 1, 1}); ok {
+		t.Error("non-adjacent cells reported in contact")
+	}
+	// Diagonal corner touch is not a contact.
+	if _, ok := contact(Rect{0, 0, 1, 1}, Rect{1, 1, 1, 1}); ok {
+		t.Error("corner touch reported as contact")
+	}
+}
+
+// TestSuperpositionLinearModel: with constant silicon conductivity the RC
+// network is linear, so steady-state temperature rises superpose:
+// rise(P1+P2) = rise(P1) + rise(P2), cell by cell.
+func TestSuperpositionLinearModel(t *testing.T) {
+	si := UniformGrid(3e-3, 3e-3, 5, 5)
+	cu := UniformGrid(3e-3, 3e-3, 5, 5)
+	opt := DefaultOptions()
+	opt.Props.SiKExp = 0 // linear conduction
+	build := func() *Model {
+		m, err := NewModel(si, cu, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	steady := func(m *Model) []float64 {
+		if _, err := m.SteadyState(1e-11, 200000); err != nil {
+			t.Fatal(err)
+		}
+		return m.Temps()
+	}
+	m1 := build()
+	m1.SetPower(3, 0.05)
+	t1 := steady(m1)
+	m2 := build()
+	m2.SetPower(17, 0.08)
+	t2 := steady(m2)
+	m12 := build()
+	m12.SetPower(3, 0.05)
+	m12.SetPower(17, 0.08)
+	t12 := steady(m12)
+	for i := range t12 {
+		want := (t1[i] - 300) + (t2[i] - 300)
+		got := t12[i] - 300
+		if math.Abs(got-want) > 1e-5 {
+			t.Fatalf("cell %d: superposed rise %.8f, combined rise %.8f", i, want, got)
+		}
+	}
+	// The non-linear model must break superposition (sanity that the test
+	// would catch a linear implementation masquerading as non-linear).
+	optNL := DefaultOptions()
+	buildNL := func() *Model {
+		m, err := NewModel(si, cu, optNL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	n1 := buildNL()
+	n1.SetPower(3, 2.0)
+	nt1 := steady(n1)
+	n2 := buildNL()
+	n2.SetPower(17, 2.0)
+	nt2 := steady(n2)
+	n12 := buildNL()
+	n12.SetPower(3, 2.0)
+	n12.SetPower(17, 2.0)
+	nt12 := steady(n12)
+	broke := false
+	for i := range nt12 {
+		want := (nt1[i] - 300) + (nt2[i] - 300)
+		if math.Abs((nt12[i]-300)-want) > 0.05 {
+			broke = true
+			break
+		}
+	}
+	if !broke {
+		t.Error("non-linear model superposed perfectly; conductivity law inert?")
+	}
+}

@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"thermemu/internal/core"
+	"thermemu/internal/emu"
+	"thermemu/internal/floorplan"
+	"thermemu/internal/sniffer"
+	"thermemu/internal/thermal"
+	"thermemu/internal/tm"
+	"thermemu/internal/workloads"
+)
+
+// runSamples produces a small real co-emulation sample series.
+func runSamples(t *testing.T) (*floorplan.Floorplan, []core.Sample) {
+	t.Helper()
+	pcfg := emu.DefaultConfig(2)
+	pcfg.FreqHz = 500e6
+	spec, err := workloads.Matrix(2, 8, 12, pcfg.PrivKB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := floorplan.FourARM11()
+	host, err := core.NewThermalHost(fp, 28, thermal.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(core.Config{
+		Platform: pcfg, Workload: spec, Host: host,
+		WindowPs: 10_000_000, ThermalTimeScale: 5000,
+		Policy: &tm.ThresholdDFS{HighK: 305, LowK: 303, HighFreqHz: 500e6, LowFreqHz: 100e6},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) < 2 {
+		t.Fatalf("only %d samples", len(res.Samples))
+	}
+	return fp, res.Samples
+}
+
+func TestWriteSamplesVCD(t *testing.T) {
+	fp, samples := runSamples(t)
+	var buf bytes.Buffer
+	if err := WriteSamplesVCD(&buf, fp, samples); err != nil {
+		t.Fatal(err)
+	}
+	vcd := buf.String()
+	for _, want := range []string{
+		"$timescale 1ps $end",
+		"$var real 64", "freq_mhz", "max_temp_k", "temp_core0_k", "power_core0_w",
+		"$var wire 1", "throttled",
+		"$enddefinitions $end",
+		"#", // at least one timestamp
+	} {
+		if !strings.Contains(vcd, want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+	// Timestamps are monotone.
+	lastTime := int64(-1)
+	for _, line := range strings.Split(vcd, "\n") {
+		if strings.HasPrefix(line, "#") {
+			var ts int64
+			if _, err := fmtSscan(line[1:], &ts); err != nil {
+				t.Fatalf("bad timestamp line %q", line)
+			}
+			if ts <= lastTime {
+				t.Fatalf("non-monotone timestamp %d after %d", ts, lastTime)
+			}
+			lastTime = ts
+		}
+	}
+	// Real value change lines reference declared ids.
+	if !strings.Contains(vcd, "r") {
+		t.Error("no real value changes")
+	}
+}
+
+func fmtSscan(s string, v *int64) (int, error) {
+	n := 0
+	var x int64
+	for ; n < len(s) && s[n] >= '0' && s[n] <= '9'; n++ {
+		x = x*10 + int64(s[n]-'0')
+	}
+	if n == 0 {
+		return 0, strings.NewReader("").UnreadByte()
+	}
+	*v = x
+	return n, nil
+}
+
+func TestVCDDedupsUnchangedValues(t *testing.T) {
+	var buf bytes.Buffer
+	v := NewVCD(&buf)
+	v.AddReal("x")
+	v.Time(1)
+	v.SetReal("x", 5)
+	v.Time(2)
+	v.SetReal("x", 5) // unchanged: no line
+	v.Time(3)
+	v.SetReal("x", 6)
+	if err := v.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "r5 "); got != 1 {
+		t.Errorf("value 5 emitted %d times", got)
+	}
+	if got := strings.Count(buf.String(), "r6 "); got != 1 {
+		t.Errorf("value 6 emitted %d times", got)
+	}
+}
+
+func TestVCDErrors(t *testing.T) {
+	v := NewVCD(&bytes.Buffer{})
+	v.AddReal("a")
+	v.AddReal("a") // duplicate
+	if v.Err() == nil {
+		t.Error("duplicate variable accepted")
+	}
+	v2 := NewVCD(&bytes.Buffer{})
+	v2.AddReal("a")
+	v2.Time(0)
+	v2.AddReal("late")
+	if v2.Err() == nil {
+		t.Error("late declaration accepted")
+	}
+	v3 := NewVCD(&bytes.Buffer{})
+	v3.Time(0)
+	v3.SetReal("ghost", 1)
+	if v3.Err() == nil {
+		t.Error("undeclared variable accepted")
+	}
+}
+
+func TestVCDIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestWriteEventsVCD(t *testing.T) {
+	events := []sniffer.Event{
+		{Cycle: 10, Source: 0, Kind: sniffer.EvMemRead},
+		{Cycle: 10, Source: 1, Kind: sniffer.EvFetch},
+		{Cycle: 12, Source: 0, Kind: sniffer.EvMemWrite},
+	}
+	var buf bytes.Buffer
+	if err := WriteEventsVCD(&buf, []string{"core0", "core1"}, events); err != nil {
+		t.Fatal(err)
+	}
+	vcd := buf.String()
+	if !strings.Contains(vcd, "ev_core0") || !strings.Contains(vcd, "ev_core1") {
+		t.Errorf("missing wires:\n%s", vcd)
+	}
+	if !strings.Contains(vcd, "#10") || !strings.Contains(vcd, "#12") {
+		t.Errorf("missing timestamps:\n%s", vcd)
+	}
+	// Out-of-range source rejected.
+	bad := []sniffer.Event{{Cycle: 1, Source: 9}}
+	if err := WriteEventsVCD(&bytes.Buffer{}, []string{"only"}, bad); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+func TestSamplesJSONRoundTrip(t *testing.T) {
+	fp, samples := runSamples(t)
+	var buf bytes.Buffer
+	if err := WriteSamplesJSON(&buf, fp, samples); err != nil {
+		t.Fatal(err)
+	}
+	name, rows, err := ReadSamplesJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != fp.Name {
+		t.Errorf("floorplan name = %q", name)
+	}
+	if len(rows) != len(samples) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(samples))
+	}
+	for i, row := range rows {
+		if row["max_temp_k"] != samples[i].MaxTempK {
+			t.Errorf("row %d max temp = %v, want %v", i, row["max_temp_k"], samples[i].MaxTempK)
+		}
+		if _, ok := row["temp_core0"]; !ok {
+			t.Errorf("row %d missing component temperature", i)
+		}
+	}
+}

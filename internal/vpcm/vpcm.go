@@ -1,0 +1,193 @@
+// Package vpcm implements the Virtual Platform Clock Manager (Section 4.2
+// of the DAC'06 paper): the hardware element that generates the virtual
+// clock domains of the emulated MPSoC from the physical FPGA oscillator.
+//
+// The VPCM receives three kinds of inputs:
+//
+//  1. the physical clock (the FPGA oscillator, 100 MHz in the paper);
+//  2. VIRTUAL_CLK_SUPPRESSION signals from the memory controllers, raised
+//     when a physical device backing an emulated memory cannot honour the
+//     user-defined latency (e.g. board DDR standing in for a 10-cycle
+//     SRAM) — the virtual clock freezes until the data is available;
+//  3. SENSOR signals from the temperature sensors, which drive run-time
+//     thermal-management actions such as dynamic frequency scaling (DFS).
+//
+// It also freezes the virtual clock when the Ethernet connection to the
+// host saturates while downloading statistics. The combination lets the
+// framework emulate, say, a 500 MHz MPSoC on 100 MHz FPGA hardware: with a
+// 10 ms statistics sampling period and a 5× virtual/physical ratio, the
+// framework samples every 50 ms of real execution but the thermal library
+// analyses it as 10 ms of emulated time.
+package vpcm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// picosPerSec converts clock periods to picoseconds. Frequencies that do
+// not divide 1e12 evenly accumulate sub-picosecond rounding, negligible at
+// the 10 ms sampling granularity of the framework.
+const picosPerSec = 1_000_000_000_000
+
+// FreqChange records one DFS event.
+type FreqChange struct {
+	Cycle  uint64 // virtual platform cycle of the change
+	TimePs uint64 // virtual time of the change
+	Hz     uint64
+}
+
+// VPCM manages the virtual clock of the emulated platform.
+type VPCM struct {
+	physHz uint64
+	virtHz uint64
+	cycle  uint64 // virtual platform cycles issued
+	timePs uint64 // virtual time elapsed
+	frozen map[string]bool
+	// suppMu guards the suppression state: memory controllers may raise
+	// suppression concurrently when the platform runs in parallel mode.
+	suppMu    sync.Mutex
+	suppress  map[string]uint64
+	suppTotal uint64
+	history   []FreqChange
+	// wallPs estimates physical (FPGA wall-clock) time: virtual cycles at
+	// the physical frequency plus suppression and freeze periods.
+	wallPs   uint64
+	frozenPs uint64
+}
+
+// New creates a VPCM with the given physical oscillator frequency and the
+// initial virtual frequency of the emulated platform.
+func New(physHz, virtHz uint64) *VPCM {
+	if physHz == 0 || virtHz == 0 {
+		panic("vpcm: frequencies must be positive")
+	}
+	v := &VPCM{physHz: physHz, virtHz: virtHz,
+		frozen: make(map[string]bool), suppress: make(map[string]uint64)}
+	v.history = append(v.history, FreqChange{Cycle: 0, TimePs: 0, Hz: virtHz})
+	return v
+}
+
+// PhysHz returns the physical oscillator frequency.
+func (v *VPCM) PhysHz() uint64 { return v.physHz }
+
+// Frequency returns the current virtual clock frequency.
+func (v *VPCM) Frequency() uint64 { return v.virtHz }
+
+// SetFrequency performs dynamic frequency scaling on the virtual clock.
+func (v *VPCM) SetFrequency(hz uint64) {
+	if hz == 0 {
+		panic("vpcm: cannot scale to 0 Hz")
+	}
+	if hz == v.virtHz {
+		return
+	}
+	v.virtHz = hz
+	v.history = append(v.history, FreqChange{Cycle: v.cycle, TimePs: v.timePs, Hz: hz})
+}
+
+// History returns every frequency change, oldest first (the initial
+// frequency is entry 0).
+func (v *VPCM) History() []FreqChange { return v.history }
+
+// DFSEvents returns the number of frequency changes after reset.
+func (v *VPCM) DFSEvents() int { return len(v.history) - 1 }
+
+// Cycle returns the virtual platform cycle count.
+func (v *VPCM) Cycle() uint64 { return v.cycle }
+
+// TimePs returns the elapsed virtual time in picoseconds.
+func (v *VPCM) TimePs() uint64 { return v.timePs }
+
+// Time returns the elapsed virtual time in seconds.
+func (v *VPCM) Time() float64 { return float64(v.timePs) * 1e-12 }
+
+// WallPs returns the estimated physical execution time in picoseconds: the
+// virtual cycles clocked at the physical frequency plus every suppression
+// and freeze period. This models what a wall clock next to the FPGA would
+// measure.
+func (v *VPCM) WallPs() uint64 { return v.wallPs + v.frozenPs }
+
+// Advance clocks the virtual platform by n cycles at the current virtual
+// frequency. The caller must not advance while frozen.
+func (v *VPCM) Advance(n uint64) {
+	if v.FrozenBy() != "" {
+		panic("vpcm: advance while virtual clock is frozen by " + v.FrozenBy())
+	}
+	v.cycle += n
+	v.timePs += n * (picosPerSec / v.virtHz)
+	v.wallPs += n * (picosPerSec / v.physHz)
+}
+
+// AddSuppression implements mem.SuppressionSink: a memory controller
+// requests a virtual-clock inhibition of the given physical cycles because
+// its backing device is slower than the modelled latency.
+func (v *VPCM) AddSuppression(source string, cycles uint64) {
+	v.suppMu.Lock()
+	defer v.suppMu.Unlock()
+	v.suppress[source] += cycles
+	v.suppTotal += cycles
+	v.wallPs += cycles * (picosPerSec / v.physHz)
+}
+
+// SuppressionCycles returns the total physical cycles of virtual-clock
+// suppression requested so far.
+func (v *VPCM) SuppressionCycles() uint64 {
+	v.suppMu.Lock()
+	defer v.suppMu.Unlock()
+	return v.suppTotal
+}
+
+// SuppressionBySource returns per-source suppression cycles, sorted by
+// source name.
+func (v *VPCM) SuppressionBySource() []struct {
+	Source string
+	Cycles uint64
+} {
+	v.suppMu.Lock()
+	defer v.suppMu.Unlock()
+	out := make([]struct {
+		Source string
+		Cycles uint64
+	}, 0, len(v.suppress))
+	for s, c := range v.suppress {
+		out = append(out, struct {
+			Source string
+			Cycles uint64
+		}{s, c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	return out
+}
+
+// RequestFreeze stops the virtual clock on behalf of a source (e.g. the
+// Ethernet dispatcher on congestion). Freezes nest per source.
+func (v *VPCM) RequestFreeze(source string) { v.frozen[source] = true }
+
+// ReleaseFreeze resumes the virtual clock for a source.
+func (v *VPCM) ReleaseFreeze(source string) { delete(v.frozen, source) }
+
+// FrozenBy returns the name of one freezing source, or "" when running.
+func (v *VPCM) FrozenBy() string {
+	for s := range v.frozen {
+		return s
+	}
+	return ""
+}
+
+// AddFrozenTime accounts physical time spent with the virtual clock frozen
+// (reported by whoever held the freeze, in physical cycles).
+func (v *VPCM) AddFrozenTime(physCycles uint64) {
+	v.frozenPs += physCycles * (picosPerSec / v.physHz)
+}
+
+// SpeedRatio returns virtual frequency over physical frequency: how much
+// faster the emulated platform is clocked than the FPGA fabric.
+func (v *VPCM) SpeedRatio() float64 { return float64(v.virtHz) / float64(v.physHz) }
+
+// String summarises the clock state.
+func (v *VPCM) String() string {
+	return fmt.Sprintf("vpcm{virt=%d Hz phys=%d Hz cycle=%d t=%.6fs suppressed=%d}",
+		v.virtHz, v.physHz, v.cycle, v.Time(), v.suppTotal)
+}

@@ -1,0 +1,167 @@
+package vpcm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAdvanceTimeAccounting(t *testing.T) {
+	v := New(100e6, 500e6)
+	v.Advance(500) // 500 cycles at 500 MHz = 1 µs virtual
+	if got := v.TimePs(); got != 1_000_000 {
+		t.Errorf("virtual time = %d ps, want 1e6", got)
+	}
+	// Physically those cycles run at 100 MHz = 5 µs wall.
+	if got := v.WallPs(); got != 5_000_000 {
+		t.Errorf("wall time = %d ps, want 5e6", got)
+	}
+	if v.Cycle() != 500 {
+		t.Errorf("cycle = %d", v.Cycle())
+	}
+	if v.SpeedRatio() != 5 {
+		t.Errorf("ratio = %v", v.SpeedRatio())
+	}
+}
+
+func TestDFSHistory(t *testing.T) {
+	v := New(100e6, 500e6)
+	v.Advance(100)
+	v.SetFrequency(100e6)
+	v.Advance(100)
+	v.SetFrequency(100e6) // no-op
+	v.SetFrequency(500e6)
+	h := v.History()
+	if len(h) != 3 {
+		t.Fatalf("history length = %d, want 3", len(h))
+	}
+	if h[0].Hz != 500e6 || h[1].Hz != 100e6 || h[2].Hz != 500e6 {
+		t.Errorf("history = %+v", h)
+	}
+	if h[1].Cycle != 100 {
+		t.Errorf("change cycle = %d", h[1].Cycle)
+	}
+	if v.DFSEvents() != 2 {
+		t.Errorf("DFS events = %d", v.DFSEvents())
+	}
+	// Time advances slower at the lower frequency.
+	if h[2].TimePs-h[1].TimePs != 100*10_000 {
+		t.Errorf("low-frequency period wrong: %d", h[2].TimePs-h[1].TimePs)
+	}
+}
+
+func TestSuppression(t *testing.T) {
+	v := New(100e6, 100e6)
+	v.AddSuppression("ddr", 15)
+	v.AddSuppression("ddr", 5)
+	v.AddSuppression("shared", 10)
+	if v.SuppressionCycles() != 30 {
+		t.Errorf("total = %d", v.SuppressionCycles())
+	}
+	by := v.SuppressionBySource()
+	if len(by) != 2 || by[0].Source != "ddr" || by[0].Cycles != 20 {
+		t.Errorf("by source = %+v", by)
+	}
+	// Suppression adds wall time but no virtual time.
+	if v.TimePs() != 0 {
+		t.Error("suppression advanced virtual time")
+	}
+	if v.WallPs() != 30*10_000 {
+		t.Errorf("wall = %d", v.WallPs())
+	}
+}
+
+func TestFreezeSemantics(t *testing.T) {
+	v := New(100e6, 100e6)
+	v.RequestFreeze("ethernet")
+	if v.FrozenBy() != "ethernet" {
+		t.Errorf("frozen by %q", v.FrozenBy())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("advance while frozen did not panic")
+			}
+		}()
+		v.Advance(1)
+	}()
+	v.AddFrozenTime(1000)
+	v.ReleaseFreeze("ethernet")
+	if v.FrozenBy() != "" {
+		t.Error("still frozen after release")
+	}
+	v.Advance(1)
+	if v.WallPs() != 1000*10_000+10_000 {
+		t.Errorf("wall = %d", v.WallPs())
+	}
+}
+
+func TestMultipleFreezeSources(t *testing.T) {
+	v := New(100e6, 100e6)
+	v.RequestFreeze("a")
+	v.RequestFreeze("b")
+	v.ReleaseFreeze("a")
+	if v.FrozenBy() != "b" {
+		t.Errorf("frozen by %q, want b", v.FrozenBy())
+	}
+	v.ReleaseFreeze("b")
+	if v.FrozenBy() != "" {
+		t.Error("should be running")
+	}
+}
+
+func TestNewRejectsZeroFrequencies(t *testing.T) {
+	for _, pair := range [][2]uint64{{0, 1}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %d) did not panic", pair[0], pair[1])
+				}
+			}()
+			New(pair[0], pair[1])
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetFrequency(0) did not panic")
+			}
+		}()
+		New(1e6, 1e6).SetFrequency(0)
+	}()
+}
+
+// Property: virtual time is monotone and equals the sum of cycles times the
+// period in force when each batch was issued.
+func TestTimeMonotoneQuick(t *testing.T) {
+	freqs := []uint64{100e6, 200e6, 250e6, 500e6}
+	f := func(steps []uint8) bool {
+		v := New(100e6, 100e6)
+		var want uint64
+		cur := uint64(100e6)
+		for i, s := range steps {
+			n := uint64(s)
+			if i%3 == 2 {
+				cur = freqs[int(s)%len(freqs)]
+				v.SetFrequency(cur)
+			}
+			prev := v.TimePs()
+			v.Advance(n)
+			want += n * (1_000_000_000_000 / cur)
+			if v.TimePs() < prev {
+				return false
+			}
+		}
+		return v.TimePs() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	v := New(100e6, 500e6)
+	if s := v.String(); !strings.Contains(s, "500000000") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,554 @@
+// Package workloads provides the SW drivers of the paper's evaluation as
+// R32 assembly programs plus bit-exact Go reference implementations used to
+// verify the emulation:
+//
+//   - MATRIX: independent matrix multiplications in each processor's
+//     private memory, with the per-core results combined in shared memory
+//     at the end (Table 3);
+//   - MATRIX-TM: the same kernel repeated for a configurable iteration
+//     count (the paper uses a workload of 100 K matrices) to stress the
+//     MPSoC for the thermal experiments (Table 3 and Figure 6);
+//   - DITHERING: Floyd–Steinberg dithering of two grey images stored in
+//     shared memory, divided into one horizontal segment per core — a
+//     highly parallel driver imposing almost the same workload on each
+//     processor (Table 3).
+//
+// Error diffusion in DITHERING stops at segment boundaries so the segments
+// are fully independent, which keeps the parallel run deterministic; the
+// Go reference applies the same rule.
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"thermemu/internal/asm"
+)
+
+// Platform address-map constants the generated programs assume (they match
+// package emu's map).
+const (
+	SharedBase  = 0x1000_0000
+	BarrierBase = 0x2000_0000
+	InfoBase    = 0x2200_0000
+)
+
+// Shared-memory layout offsets.
+const (
+	ChecksumBase = 0x0000 // per-core matrix checksums, one word per core
+	TotalAddr    = 0x0100 // combined checksum written by core 0
+	ImageBase    = 0x1000 // first dithering image
+)
+
+// SharedBlock is initial shared-memory content for a workload.
+type SharedBlock struct {
+	Addr uint32 // offset within shared memory
+	Data []byte
+}
+
+// Spec is a ready-to-load workload: one program per core, initial shared
+// memory, and a verifier that checks the final shared-memory state against
+// the Go reference implementation.
+type Spec struct {
+	Name     string
+	Programs []*asm.Image
+	Shared   []SharedBlock
+	// Verify reads final shared memory through the supplied accessor
+	// (word offsets within shared memory) and returns an error on any
+	// mismatch with the reference computation.
+	Verify func(readShared func(uint32) uint32) error
+}
+
+// words serialises uint32s little-endian.
+func words(vs []uint32) []byte {
+	b := make([]byte, 4*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint32(b[4*i:], v)
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// MATRIX
+// ---------------------------------------------------------------------------
+
+// matrixInitA/B are the deterministic initial element patterns; they only
+// depend on the linear index and the core id, so the assembly can generate
+// them with a single loop.
+func matrixInitA(core int, i uint32) uint32 { return (i + uint32(core)) & 0xFF }
+func matrixInitB(i uint32) uint32           { return (i*3 + 1) & 0xFF }
+
+// MatrixChecksum computes the reference checksum one core produces: the sum
+// of all elements of C = A×B after iters sequential multiplications (the
+// result is identical across iterations; the iterations model sustained
+// load, exactly as in the emulated program).
+func MatrixChecksum(core, n int) uint32 {
+	nn := uint32(n)
+	a := make([]uint32, nn*nn)
+	b := make([]uint32, nn*nn)
+	for i := uint32(0); i < nn*nn; i++ {
+		a[i] = matrixInitA(core, i)
+		b[i] = matrixInitB(i)
+	}
+	var sum uint32
+	for i := uint32(0); i < nn; i++ {
+		for j := uint32(0); j < nn; j++ {
+			var acc uint32
+			for k := uint32(0); k < nn; k++ {
+				acc += a[i*nn+k] * b[k*nn+j]
+			}
+			sum += acc
+		}
+	}
+	return sum
+}
+
+// matrixProgram generates the per-core MATRIX assembly. All cores run the
+// same binary; each reads its id from the platform info device.
+func matrixProgram(cores, n, iters, privKB int) (string, error) {
+	matWords := n * n * 4
+	codeRoom := 0x1000
+	need := codeRoom + 3*matWords
+	if need > privKB*1024 {
+		return "", fmt.Errorf("workloads: %d x %d matrices need %d bytes, private memory has %d",
+			n, n, need, privKB*1024)
+	}
+	return fmt.Sprintf(`
+	.equ N,       %d
+	.equ NCORES,  %d
+	.equ ITERS,   %d
+	.equ MATA,    %d
+	.equ MATB,    %d
+	.equ MATC,    %d
+	.equ NSQ,     %d
+	.equ ROWB,    %d          ; N*4
+	.equ SHARED,  0x10000000
+	.equ BARRIER, 0x20000000
+	.equ INFO,    0x22000000
+	.equ TOTAL,   0x10000100
+
+start:
+	li   r20, INFO
+	lw   r21, 0(r20)          ; coreID
+	lw   r24, 4(r20)          ; ncores
+
+	; --- initialise A[i] = (i+coreID)&0xFF, B[i] = (3i+1)&0xFF ---
+	li   r2, NSQ
+	li   r4, MATA
+	li   r5, MATB
+	add  r3, r0, r0           ; i
+init:
+	add  r6, r3, r21
+	andi r6, r6, 0xFF
+	sw   r6, 0(r4)
+	slli r6, r3, 1
+	add  r6, r6, r3           ; 3i
+	addi r6, r6, 1
+	andi r6, r6, 0xFF
+	sw   r6, 0(r5)
+	addi r4, r4, 4
+	addi r5, r5, 4
+	inc  r3
+	bne  r3, r2, init
+
+	; --- ITERS matrix multiplications ---
+	li   r17, ITERS
+	li   r13, ROWB
+iter:
+	li   r11, MATA            ; row cursor base
+	li   r14, MATC            ; C cursor
+	li   r1, N
+	add  r7, r0, r0           ; i
+iloop:
+	add  r8, r0, r0           ; j
+jloop:
+	add  r10, r0, r0          ; acc
+	; r11 holds &A[i*N], r12 walks B column j
+	li   r12, MATB
+	slli r6, r8, 2
+	add  r12, r12, r6
+	mv   r9, r1               ; k = N
+	mv   r6, r11              ; A cursor
+kloop:
+	lw   r15, 0(r6)
+	lw   r16, 0(r12)
+	mul  r15, r15, r16
+	add  r10, r10, r15
+	addi r6, r6, 4
+	add  r12, r12, r13
+	dec  r9
+	bne  r9, r0, kloop
+	sw   r10, 0(r14)
+	addi r14, r14, 4
+	inc  r8
+	bne  r8, r1, jloop
+	add  r11, r11, r13        ; next A row
+	inc  r7
+	bne  r7, r1, iloop
+	dec  r17
+	bne  r17, r0, iter
+
+	; --- checksum C ---
+	li   r2, NSQ
+	li   r4, MATC
+	add  r10, r0, r0
+	add  r3, r0, r0
+csum:
+	lw   r6, 0(r4)
+	add  r10, r10, r6
+	addi r4, r4, 4
+	inc  r3
+	bne  r3, r2, csum
+
+	; --- publish checksum: SHARED + 4*coreID ---
+	li   r22, SHARED
+	slli r23, r21, 2
+	add  r22, r22, r23
+	sw   r10, 0(r22)
+
+	; --- barrier ---
+	li   r25, BARRIER
+	lw   r26, 0(r25)          ; generation
+	sw   r0, 0(r25)           ; arrive
+bspin:
+	lw   r27, 0(r25)
+	beq  r27, r26, bspin
+
+	; --- core 0 combines ---
+	bne  r21, r0, done
+	mv   r3, r24
+	li   r4, SHARED
+	add  r5, r0, r0
+combine:
+	lw   r6, 0(r4)
+	add  r5, r5, r6
+	addi r4, r4, 4
+	dec  r3
+	bne  r3, r0, combine
+	li   r4, TOTAL
+	sw   r5, 0(r4)
+done:
+	halt
+`, n, cores, iters, codeRoom, codeRoom+matWords, codeRoom+2*matWords,
+		n*n, n*4), nil
+}
+
+// Matrix builds the MATRIX workload: cores independent n×n multiplications
+// repeated iters times, combined in shared memory at the end.
+func Matrix(cores, n, iters, privKB int) (*Spec, error) {
+	if cores <= 0 || n <= 0 || iters <= 0 {
+		return nil, fmt.Errorf("workloads: cores, n and iters must be positive")
+	}
+	src, err := matrixProgram(cores, n, iters, privKB)
+	if err != nil {
+		return nil, err
+	}
+	im, err := asm.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: matrix program: %w", err)
+	}
+	progs := make([]*asm.Image, cores)
+	for i := range progs {
+		progs[i] = im
+	}
+	spec := &Spec{Name: fmt.Sprintf("matrix-%dc-%dx%d-%dit", cores, n, n, iters), Programs: progs}
+	spec.Verify = func(read func(uint32) uint32) error {
+		var total uint32
+		for c := 0; c < cores; c++ {
+			want := MatrixChecksum(c, n)
+			got := read(ChecksumBase + uint32(4*c))
+			if got != want {
+				return fmt.Errorf("matrix: core %d checksum %#x, want %#x", c, got, want)
+			}
+			total += want
+		}
+		if got := read(TotalAddr); got != total {
+			return fmt.Errorf("matrix: combined checksum %#x, want %#x", got, total)
+		}
+		return nil
+	}
+	return spec, nil
+}
+
+// MatrixTM builds the thermal-stress variant: the paper's "workload of
+// 100 K matrices" is Matrix with a large iteration count.
+func MatrixTM(cores, n, iters, privKB int) (*Spec, error) {
+	s, err := Matrix(cores, n, iters, privKB)
+	if err != nil {
+		return nil, err
+	}
+	s.Name = fmt.Sprintf("matrix-tm-%dc-%dx%d-%dit", cores, n, n, iters)
+	return s, nil
+}
+
+// ---------------------------------------------------------------------------
+// DITHERING
+// ---------------------------------------------------------------------------
+
+// ditherPixel is the deterministic grey value of pixel (x,y) of image img.
+func ditherPixel(img, x, y int) uint32 {
+	return uint32(x*7+y*13+img*5) % 256
+}
+
+// DitherImages builds the two initial size×size grey images as word arrays.
+func DitherImages(size int) [2][]uint32 {
+	var out [2][]uint32
+	for img := 0; img < 2; img++ {
+		px := make([]uint32, size*size)
+		for y := 0; y < size; y++ {
+			for x := 0; x < size; x++ {
+				px[y*size+x] = ditherPixel(img, x, y)
+			}
+		}
+		out[img] = px
+	}
+	return out
+}
+
+// DitherRef applies Floyd–Steinberg dithering to the image in place, with
+// error diffusion confined to each core's horizontal segment. Arithmetic
+// matches the R32 program exactly: 32-bit two's-complement adds and
+// arithmetic right shifts for the (err·w)/16 terms.
+func DitherRef(px []uint32, size, cores int) {
+	rows := size / cores
+	for c := 0; c < cores; c++ {
+		y0, yEnd := c*rows, (c+1)*rows
+		if c == cores-1 {
+			yEnd = size
+		}
+		for y := y0; y < yEnd; y++ {
+			for x := 0; x < size; x++ {
+				i := y*size + x
+				old := int32(px[i])
+				var newPx int32
+				if old >= 128 {
+					newPx = 255
+				}
+				err := old - newPx
+				px[i] = uint32(newPx)
+				if x+1 < size {
+					px[i+1] = uint32(int32(px[i+1]) + (err*7)>>4)
+				}
+				if y+1 < yEnd {
+					below := i + size
+					if x > 0 {
+						px[below-1] = uint32(int32(px[below-1]) + (err*3)>>4)
+					}
+					px[below] = uint32(int32(px[below]) + (err*5)>>4)
+					if x+1 < size {
+						px[below+1] = uint32(int32(px[below+1]) + (err*1)>>4)
+					}
+				}
+			}
+		}
+	}
+}
+
+// ditherProgram generates the per-core DITHERING assembly.
+func ditherProgram(cores, size int) string {
+	imgBytes := size * size * 4
+	return fmt.Sprintf(`
+	.equ SIZE,    %d
+	.equ ROWB,    %d          ; SIZE*4
+	.equ ROWS,    %d          ; rows per core
+	.equ IMGB,    %d          ; bytes per image
+	.equ IMG0,    0x10001000
+	.equ INFO,    0x22000000
+
+start:
+	li   r20, INFO
+	lw   r21, 0(r20)          ; coreID
+	li   r1, SIZE
+	li   r2, ROWB
+	li   r15, 128
+	li   r16, 255
+	subi r14, r1, 1           ; SIZE-1
+
+	add  r17, r0, r0          ; image index
+imgloop:
+	; base = IMG0 + r17*IMGB
+	li   r5, IMGB
+	mul  r5, r5, r17
+	li   r6, IMG0
+	add  r5, r5, r6           ; image base
+
+	; y = coreID*ROWS ; yEnd = y + ROWS
+	li   r6, ROWS
+	mul  r7, r21, r6          ; y
+	add  r18, r7, r6          ; yEnd
+	subi r19, r18, 1          ; last row of segment
+
+	; r9 = row address = base + y*ROWB
+	mul  r9, r7, r2
+	add  r9, r9, r5
+yloop:
+	add  r8, r0, r0           ; x
+	mv   r10, r9              ; pixel cursor
+xloop:
+	lw   r11, 0(r10)          ; old
+	add  r12, r0, r0          ; new = 0
+	blt  r11, r15, dark
+	mv   r12, r16             ; new = 255
+dark:
+	sub  r11, r11, r12        ; err
+	sw   r12, 0(r10)
+
+	; east: += err*7 >> 4
+	beq  r8, r14, noeast
+	slli r13, r11, 3
+	sub  r13, r13, r11        ; err*7
+	srai r13, r13, 4
+	lw   r12, 4(r10)
+	add  r12, r12, r13
+	sw   r12, 4(r10)
+noeast:
+	; rows below only inside the segment
+	beq  r7, r19, norow
+	add  r13, r10, r2         ; below cursor
+	; south-west: += err*3 >> 4
+	beq  r8, r0, nosw
+	slli r12, r11, 1
+	add  r12, r12, r11        ; err*3
+	srai r12, r12, 4
+	lw   r22, -4(r13)
+	add  r22, r22, r12
+	sw   r22, -4(r13)
+nosw:
+	; south: += err*5 >> 4
+	slli r12, r11, 2
+	add  r12, r12, r11        ; err*5
+	srai r12, r12, 4
+	lw   r22, 0(r13)
+	add  r22, r22, r12
+	sw   r22, 0(r13)
+	; south-east: += err*1 >> 4
+	beq  r8, r14, norow
+	srai r12, r11, 4
+	lw   r22, 4(r13)
+	add  r22, r22, r12
+	sw   r22, 4(r13)
+norow:
+	addi r10, r10, 4
+	inc  r8
+	bne  r8, r1, xloop
+	add  r9, r9, r2           ; next row
+	inc  r7
+	bne  r7, r18, yloop
+
+	inc  r17
+	addi r22, r0, 2
+	bne  r17, r22, imgloop
+	halt
+`, size, size*4, size/cores, imgBytes)
+}
+
+// Dithering builds the DITHERING workload: Floyd–Steinberg on two
+// size×size grey images in shared memory, one horizontal segment per core.
+// size must be divisible by cores.
+func Dithering(cores, size int) (*Spec, error) {
+	if cores <= 0 || size <= 0 || size%cores != 0 {
+		return nil, fmt.Errorf("workloads: size %d must divide evenly across %d cores", size, cores)
+	}
+	im, err := asm.Assemble(ditherProgram(cores, size))
+	if err != nil {
+		return nil, fmt.Errorf("workloads: dithering program: %w", err)
+	}
+	progs := make([]*asm.Image, cores)
+	for i := range progs {
+		progs[i] = im
+	}
+	imgs := DitherImages(size)
+	imgBytes := uint32(size * size * 4)
+	spec := &Spec{
+		Name:     fmt.Sprintf("dithering-%dc-%dx%d", cores, size, size),
+		Programs: progs,
+		Shared: []SharedBlock{
+			{Addr: ImageBase, Data: words(imgs[0])},
+			{Addr: ImageBase + imgBytes, Data: words(imgs[1])},
+		},
+	}
+	spec.Verify = func(read func(uint32) uint32) error {
+		want := DitherImages(size)
+		for img := 0; img < 2; img++ {
+			DitherRef(want[img], size, cores)
+			base := ImageBase + uint32(img)*imgBytes
+			for i, w := range want[img] {
+				if got := read(base + uint32(4*i)); got != w {
+					return fmt.Errorf("dithering: image %d pixel %d = %#x, want %#x",
+						img, i, got, w)
+				}
+			}
+		}
+		return nil
+	}
+	return spec, nil
+}
+
+// ---------------------------------------------------------------------------
+// LOCKS
+// ---------------------------------------------------------------------------
+
+// Shared-memory offsets of the LOCKS workload.
+const (
+	LockAddr    = 0x0800 // spinlock word
+	CounterAddr = 0x0804 // protected counter
+)
+
+// locksProgram generates the LOCKS driver: every core increments a shared
+// counter `iters` times under a swap-based spinlock. The workload stresses
+// the atomic-exchange path and interconnect contention in a way MATRIX and
+// DITHERING do not.
+func locksProgram(iters int) string {
+	return fmt.Sprintf(`
+	.equ ITERS, %d
+	.equ LOCK,    0x10000800
+	.equ COUNTER, 0x10000804
+
+start:
+	li   r1, ITERS
+	li   r2, LOCK
+	li   r3, COUNTER
+loop:
+	; acquire: swap 1 into the lock until the old value was 0
+acquire:
+	addi r4, r0, 1
+	swap r4, 0(r2)
+	bne  r4, r0, acquire
+	; critical section
+	lw   r5, 0(r3)
+	addi r5, r5, 1
+	sw   r5, 0(r3)
+	; release
+	sw   r0, 0(r2)
+	dec  r1
+	bne  r1, r0, loop
+	halt
+`, iters)
+}
+
+// Locks builds the LOCKS workload for the given core count.
+func Locks(cores, iters int) (*Spec, error) {
+	if cores <= 0 || iters <= 0 {
+		return nil, fmt.Errorf("workloads: cores and iters must be positive")
+	}
+	im, err := asm.Assemble(locksProgram(iters))
+	if err != nil {
+		return nil, fmt.Errorf("workloads: locks program: %w", err)
+	}
+	progs := make([]*asm.Image, cores)
+	for i := range progs {
+		progs[i] = im
+	}
+	spec := &Spec{Name: fmt.Sprintf("locks-%dc-%dit", cores, iters), Programs: progs}
+	spec.Verify = func(read func(uint32) uint32) error {
+		want := uint32(cores * iters)
+		if got := read(CounterAddr); got != want {
+			return fmt.Errorf("locks: counter = %d, want %d (lost updates)", got, want)
+		}
+		if lock := read(LockAddr); lock != 0 {
+			return fmt.Errorf("locks: lock left held (%d)", lock)
+		}
+		return nil
+	}
+	return spec, nil
+}

@@ -1,0 +1,260 @@
+// Package thermemu is a software reproduction of the fast HW/SW FPGA-based
+// thermal emulation framework for MPSoCs of Atienza et al. (DAC 2006).
+//
+// The framework couples a cycle-level MPSoC emulator (standing in for the
+// FPGA: R32 RISC cores, configurable caches and memories, bus or NoC
+// interconnects, HW statistics sniffers and the VPCM virtual clock) with a
+// SW thermal library (an RC network with non-linear silicon conductivity)
+// over the paper's Ethernet MAC-frame protocol, closing the loop through
+// run-time thermal-management policies such as threshold DFS.
+//
+// Quick start:
+//
+//	spec, _ := thermemu.Matrix(4, 16, 1)
+//	res, _ := thermemu.RunWorkload(thermemu.DefaultPlatform(4), spec)
+//	fmt.Println(res)
+//
+// Closed-loop thermal co-emulation:
+//
+//	cfg, _ := thermemu.Fig6(1000, true) // Matrix-TM with threshold DFS
+//	out, _ := thermemu.RunCoEmulation(cfg, nil)
+//	fmt.Printf("max %.1f K after %d DFS events\n", out.MaxTempK, out.DFSEvents)
+//
+// The exported types are aliases of the implementation packages, so the
+// whole configuration surface (platform, floorplans, thermal properties,
+// policies, transports) is available through this single import.
+package thermemu
+
+import (
+	"fmt"
+	"time"
+
+	"thermemu/internal/core"
+	"thermemu/internal/emu"
+	"thermemu/internal/etherlink"
+	"thermemu/internal/floorplan"
+	"thermemu/internal/mparm"
+	"thermemu/internal/thermal"
+	"thermemu/internal/tm"
+	"thermemu/internal/workloads"
+)
+
+// Re-exported configuration and result types.
+type (
+	// PlatformConfig configures the emulated MPSoC (cores, caches,
+	// memories, interconnect, clocks).
+	PlatformConfig = emu.Config
+	// Platform is one instantiated MPSoC emulation.
+	Platform = emu.Platform
+	// Workload is a loadable program set with its verifier.
+	Workload = workloads.Spec
+	// CoEmulationConfig configures a closed-loop thermal run.
+	CoEmulationConfig = core.Config
+	// CoEmulationResult is the outcome of a closed-loop run.
+	CoEmulationResult = core.Result
+	// Sample is one sampling-window observation of the closed loop.
+	Sample = core.Sample
+	// ThermalHost is the host-PC side thermal service.
+	ThermalHost = core.ThermalHost
+	// Floorplan is a placed die.
+	Floorplan = floorplan.Floorplan
+	// Transport moves framework MAC frames between device and host.
+	Transport = etherlink.Transport
+)
+
+// DefaultPlatform returns the Table 3 exploration platform with the given
+// core count (4 KB I/D caches, 16 KB private memories, 1 MB shared, OPB).
+func DefaultPlatform(cores int) PlatformConfig { return emu.DefaultConfig(cores) }
+
+// NoCPlatform returns DefaultPlatform with the Table 3 two-switch NoC in
+// place of the bus.
+func NoCPlatform(cores int) PlatformConfig {
+	cfg := emu.DefaultConfig(cores)
+	cfg.IC = emu.ICNoC
+	cfg.NoC = emu.Table3NoC(cores)
+	return cfg
+}
+
+// Matrix builds the MATRIX workload for the given core count: independent
+// n×n integer matrix multiplications per core, combined in shared memory.
+func Matrix(cores, n, iters int) (*Workload, error) {
+	return workloads.Matrix(cores, n, iters, DefaultPlatform(cores).PrivKB)
+}
+
+// Dithering builds the DITHERING workload: Floyd–Steinberg dithering of two
+// size×size grey images in shared memory, one segment per core.
+func Dithering(cores, size int) (*Workload, error) {
+	return workloads.Dithering(cores, size)
+}
+
+// Fig6 builds the Figure 6 closed-loop experiment configuration (Matrix-TM
+// on the 500 MHz NoC platform, 28 thermal cells, optional threshold DFS).
+func Fig6(iters int, withTM bool) (CoEmulationConfig, error) {
+	return core.Fig6Config(iters, withTM)
+}
+
+// NewThermalHost grids a floorplan into about targetCells thermal cells and
+// builds the RC model around it (Table 2 properties).
+func NewThermalHost(fp *Floorplan, targetCells int) (*ThermalHost, error) {
+	return core.NewThermalHost(fp, targetCells, thermal.DefaultOptions())
+}
+
+// FourARM7 and FourARM11 return the floorplans of Figure 4.
+func FourARM7() *Floorplan { return floorplan.FourARM7() }
+
+// FourARM11 returns floorplan (b) of Figure 4.
+func FourARM11() *Floorplan { return floorplan.FourARM11() }
+
+// ThresholdDFS returns the paper's 350 K/340 K, 500/100 MHz policy.
+func ThresholdDFS() tm.Policy { return tm.NewThresholdDFS() }
+
+// RunStats summarises a plain (non-thermal) emulation run.
+type RunStats struct {
+	Name         string
+	Cycles       uint64
+	Instructions uint64
+	VirtualS     float64
+	Wall         time.Duration
+	Done         bool
+	// SlowdownVsRT is wall time over emulated virtual time: how much
+	// slower than real time the emulation ran.
+	SlowdownVsRT float64
+}
+
+// String formats the run summary.
+func (r RunStats) String() string {
+	return fmt.Sprintf("%s: %d cycles (%d instr) in %v — %.3f s virtual, %.1fx real time",
+		r.Name, r.Cycles, r.Instructions, r.Wall.Round(time.Microsecond), r.VirtualS, r.SlowdownVsRT)
+}
+
+func loadSpec(p *emu.Platform, spec *workloads.Spec) error {
+	if len(spec.Programs) != len(p.Cores) {
+		return fmt.Errorf("thermemu: workload %s has %d programs for %d cores",
+			spec.Name, len(spec.Programs), len(p.Cores))
+	}
+	for i, im := range spec.Programs {
+		if err := p.LoadProgram(i, im); err != nil {
+			return err
+		}
+	}
+	for _, b := range spec.Shared {
+		p.WriteShared(b.Addr, b.Data)
+	}
+	return nil
+}
+
+// RunWorkload executes a workload on the fast emulation kernel and verifies
+// its result.
+func RunWorkload(cfg PlatformConfig, spec *Workload) (RunStats, error) {
+	p, err := emu.New(cfg)
+	if err != nil {
+		return RunStats{}, err
+	}
+	if err := loadSpec(p, spec); err != nil {
+		return RunStats{}, err
+	}
+	start := time.Now()
+	cycles, done := p.Run(1 << 62)
+	wall := time.Since(start)
+	if err := p.Fault(); err != nil {
+		return RunStats{}, err
+	}
+	if done && spec.Verify != nil {
+		if err := spec.Verify(p.ReadSharedWord); err != nil {
+			return RunStats{}, err
+		}
+	}
+	return newRunStats("emulator/"+spec.Name, p, cycles, wall, done), nil
+}
+
+// RunWorkloadParallel is RunWorkload with the platform built for parallel
+// mode and stepped on concurrent host threads in chunks of `chunk` cycles
+// (0 = default). This is the software analogue of the FPGA's spatial
+// parallelism: on a multi-core host, wall time stays nearly flat as
+// emulated cores are added. Contention timing is resolved in host-arrival
+// order, so cycle counts are not bit-reproducible; functional results are
+// verified as usual.
+func RunWorkloadParallel(cfg PlatformConfig, spec *Workload, chunk uint64) (RunStats, error) {
+	cfg.Parallel = true
+	cfg.EventLogging = false
+	p, err := emu.New(cfg)
+	if err != nil {
+		return RunStats{}, err
+	}
+	if err := loadSpec(p, spec); err != nil {
+		return RunStats{}, err
+	}
+	start := time.Now()
+	cycles, done := p.RunParallel(chunk, 1<<62)
+	wall := time.Since(start)
+	if err := p.Fault(); err != nil {
+		return RunStats{}, err
+	}
+	if done && spec.Verify != nil {
+		if err := spec.Verify(p.ReadSharedWord); err != nil {
+			return RunStats{}, err
+		}
+	}
+	return newRunStats("emulator-par/"+spec.Name, p, cycles, wall, done), nil
+}
+
+// RunWorkloadMPARM executes a workload on the signal-level cycle-accurate
+// baseline kernel (the MPARM stand-in) and verifies both the result and the
+// statistics recovered from the signal traffic.
+func RunWorkloadMPARM(cfg PlatformConfig, spec *Workload) (RunStats, error) {
+	p, err := emu.New(cfg)
+	if err != nil {
+		return RunStats{}, err
+	}
+	if err := loadSpec(p, spec); err != nil {
+		return RunStats{}, err
+	}
+	k := mparm.New(p)
+	start := time.Now()
+	cycles, done := k.Run(1 << 62)
+	wall := time.Since(start)
+	if err := p.Fault(); err != nil {
+		return RunStats{}, err
+	}
+	if done && spec.Verify != nil {
+		if err := spec.Verify(p.ReadSharedWord); err != nil {
+			return RunStats{}, err
+		}
+	}
+	if err := k.VerifyObserved(); err != nil {
+		return RunStats{}, err
+	}
+	return newRunStats("mparm/"+spec.Name, p, cycles, wall, done), nil
+}
+
+func newRunStats(name string, p *emu.Platform, cycles uint64, wall time.Duration, done bool) RunStats {
+	rs := RunStats{
+		Name:         name,
+		Cycles:       cycles,
+		Instructions: p.TotalInstructions(),
+		VirtualS:     p.VPCM.Time(),
+		Wall:         wall,
+		Done:         done,
+	}
+	if rs.VirtualS > 0 {
+		rs.SlowdownVsRT = wall.Seconds() / rs.VirtualS
+	}
+	return rs
+}
+
+// RunCoEmulation executes the closed HW/SW loop of the framework.
+func RunCoEmulation(cfg CoEmulationConfig, onSample func(Sample)) (*CoEmulationResult, error) {
+	return core.Run(cfg, onSample)
+}
+
+// DialThermalHost connects the device side to a remote thermal server
+// (cmd/thermserver) over TCP.
+func DialThermalHost(addr string) (Transport, error) {
+	return etherlink.Dial(addr, 64)
+}
+
+// LoopbackLink returns a connected in-process device/host transport pair
+// whose FIFO holds depth frames per direction.
+func LoopbackLink(depth int) (device, host Transport) {
+	return etherlink.LoopbackPair(depth)
+}
