@@ -7,6 +7,7 @@
 //	experiments -fig6 -out fig6.csv  Figure 6 (Matrix-TM thermal evolution)
 //	experiments -resources           in-text FPGA utilisation figures
 //	experiments -solver              in-text thermal-solver speed (660 cells)
+//	experiments -steady              steady-state hotspot on 660 cells
 //	experiments -all                 everything
 //
 // Workload sizes are scaled so the whole suite runs in minutes; the paper's
@@ -14,6 +15,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +32,7 @@ func main() {
 		fig6      = flag.Bool("fig6", false, "run the Figure 6 thermal experiment")
 		resources = flag.Bool("resources", false, "print the FPGA utilisation figures")
 		solver    = flag.Bool("solver", false, "measure thermal-solver speed on 660 cells")
+		steady    = flag.Bool("steady", false, "relax the 660-cell floorplan to steady state")
 
 		matrixN     = flag.Int("matrix-n", 0, "Table 3 matrix dimension (0 = default)")
 		matrixIters = flag.Int("matrix-iters", 0, "Table 3 matrix iterations per core")
@@ -43,11 +46,14 @@ func main() {
 		fig6Scale = flag.Float64("fig6-timescale", 0, "Figure 6 thermal time compression (1 = paper-faithful)")
 		out       = flag.String("out", "fig6.csv", "Figure 6 CSV output path")
 
-		solverSimS = flag.Float64("solver-sim", 2.0, "seconds of thermal simulation to run")
+		solverSimS    = flag.Float64("solver-sim", 2.0, "seconds of thermal simulation to run")
+		solverWorkers = flag.Int("solver-workers", 0, "thermal solver shards (0 = auto, 1 = serial)")
+		steadyTol     = flag.Float64("steady-tol", 1e-6, "steady-state convergence tolerance, K")
+		steadySweeps  = flag.Int("steady-sweeps", 20000, "steady-state sweep budget")
 	)
 	flag.Parse()
 
-	if !(*all || *table1 || *table2 || *table3 || *fig6 || *resources || *solver) {
+	if !(*all || *table1 || *table2 || *table3 || *fig6 || *resources || *solver || *steady) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -71,9 +77,20 @@ func main() {
 		fmt.Println()
 	}
 	if *all || *solver {
-		r, err := thermemu.SolverPerf(660, *solverSimS)
+		r, err := thermemu.SolverPerf(660, *solverSimS, *solverWorkers)
 		if err != nil {
 			fail(err)
+		}
+		fmt.Println(r)
+		fmt.Println()
+	}
+	if *all || *steady {
+		r, err := thermemu.SteadyHotspot(660, *steadyTol, *steadySweeps)
+		if err != nil && !errors.Is(err, thermemu.ErrNoConvergence) {
+			fail(err)
+		}
+		if errors.Is(err, thermemu.ErrNoConvergence) {
+			fmt.Fprintf(os.Stderr, "experiments: warning: %v — printing best-effort result\n", err)
 		}
 		fmt.Println(r)
 		fmt.Println()

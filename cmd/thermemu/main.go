@@ -40,6 +40,7 @@ func main() {
 		windowMs = flag.Float64("window", 1.0, "sampling window in virtual ms")
 		tscale   = flag.Float64("timescale", 100, "thermal time compression (1 = paper-faithful)")
 		cells    = flag.Int("cells", 28, "thermal cells for the floorplan grid")
+		workers  = flag.Int("workers", 0, "thermal solver shards (0 = auto, 1 = serial)")
 		csvPath  = flag.String("csv", "", "write per-window samples to this CSV file")
 		hostAddr = flag.String("host", "", "remote thermal server address (empty = in-process)")
 		report   = flag.Bool("report", false, "print the detailed platform statistics report")
@@ -48,14 +49,14 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(*cores, *workload, *n, *iters, *size, *ic, *nocSpec, *freqMHz, *withTM,
-		*windowMs, *tscale, *cells, *csvPath, *hostAddr, *report, *vcdPath, *jsonPath); err != nil {
+		*windowMs, *tscale, *cells, *workers, *csvPath, *hostAddr, *report, *vcdPath, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "thermemu:", err)
 		os.Exit(1)
 	}
 }
 
 func run(cores int, workload string, n, iters, size int, ic, nocSpec string, freqMHz int,
-	withTM bool, windowMs, tscale float64, cells int, csvPath, hostAddr string,
+	withTM bool, windowMs, tscale float64, cells, workers int, csvPath, hostAddr string,
 	report bool, vcdPath, jsonPath string) error {
 	pcfg := thermemu.DefaultPlatform(cores)
 	switch ic {
@@ -99,7 +100,11 @@ func run(cores int, workload string, n, iters, size int, ic, nocSpec string, fre
 		return err
 	}
 
-	host, err := thermemu.NewThermalHost(thermemu.FourARM11(), cells)
+	topt := thermemu.DefaultThermalOptions()
+	if workers > 0 {
+		topt.Workers = workers
+	}
+	host, err := thermemu.NewThermalHostWith(thermemu.FourARM11(), cells, topt)
 	if err != nil {
 		return err
 	}

@@ -19,19 +19,20 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", ":9077", "TCP listen address")
-		plan   = flag.String("floorplan", "arm11", "floorplan: arm7 | arm11")
-		cells  = flag.Int("cells", 28, "thermal cells for the floorplan grid")
-		once   = flag.Bool("once", false, "serve a single connection, then exit")
+		listen  = flag.String("listen", ":9077", "TCP listen address")
+		plan    = flag.String("floorplan", "arm11", "floorplan: arm7 | arm11")
+		cells   = flag.Int("cells", 28, "thermal cells for the floorplan grid")
+		workers = flag.Int("workers", 0, "thermal solver shards (0 = auto, 1 = serial)")
+		once    = flag.Bool("once", false, "serve a single connection, then exit")
 	)
 	flag.Parse()
-	if err := run(*listen, *plan, *cells, *once); err != nil {
+	if err := run(*listen, *plan, *cells, *workers, *once); err != nil {
 		fmt.Fprintln(os.Stderr, "thermserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, plan string, cells int, once bool) error {
+func run(listen, plan string, cells, workers int, once bool) error {
 	var fp *thermemu.Floorplan
 	switch plan {
 	case "arm7":
@@ -56,7 +57,11 @@ func run(listen, plan string, cells int, once bool) error {
 		fmt.Printf("thermserver: device connected from %s\n", conn.RemoteAddr())
 		// Fresh thermal state per connection, as the paper launches the
 		// thermal tool per emulation run.
-		host, err := thermemu.NewThermalHost(fp, cells)
+		opt := thermemu.DefaultThermalOptions()
+		if workers > 0 {
+			opt.Workers = workers
+		}
+		host, err := thermemu.NewThermalHostWith(fp, cells, opt)
 		if err != nil {
 			return err
 		}

@@ -452,6 +452,7 @@ func Resources() (string, error) {
 // 3 GHz Pentium 4).
 type SolverPerfResult struct {
 	Cells     int // RC nodes in the model
+	Workers   int // solver shards actually used
 	SimS      float64
 	Wall      time.Duration
 	RealTimeX float64 // simulated seconds per wall second
@@ -459,15 +460,21 @@ type SolverPerfResult struct {
 
 // String formats the result next to the paper's reference point.
 func (r SolverPerfResult) String() string {
-	return fmt.Sprintf("thermal solver: %.1f s simulated on %d cells in %v (%.1fx real time; paper: 2 s in 1.65 s)",
-		r.SimS, r.Cells, r.Wall.Round(time.Millisecond), r.RealTimeX)
+	return fmt.Sprintf("thermal solver: %.1f s simulated on %d cells (%d workers) in %v (%.1fx real time; paper: 2 s in 1.65 s)",
+		r.SimS, r.Cells, r.Workers, r.Wall.Round(time.Millisecond), r.RealTimeX)
 }
 
 // SolverPerf measures the RC solver on a floorplan gridded to surfaceCells
 // bottom cells, stepping simS simulated seconds in 10 ms windows under a
-// representative ARM11 load.
-func SolverPerf(surfaceCells int, simS float64) (SolverPerfResult, error) {
-	host, err := NewThermalHost(FourARM11(), surfaceCells)
+// representative ARM11 load. workers sets thermal.Options.Workers (<= 0
+// leaves the auto GOMAXPROCS default); sharding only engages above the
+// model's cell threshold, so small grids stay on the serial path either way.
+func SolverPerf(surfaceCells int, simS float64, workers int) (SolverPerfResult, error) {
+	opt := DefaultThermalOptions()
+	if workers > 0 {
+		opt.Workers = workers
+	}
+	host, err := NewThermalHostWith(FourARM11(), surfaceCells, opt)
 	if err != nil {
 		return SolverPerfResult{}, err
 	}
@@ -483,7 +490,54 @@ func SolverPerf(surfaceCells int, simS float64) (SolverPerfResult, error) {
 	}
 	wall := time.Since(start)
 	return SolverPerfResult{
-		Cells: host.Model.NumCells(), SimS: simS, Wall: wall,
+		Cells: host.Model.NumCells(), Workers: host.Model.Workers(),
+		SimS: simS, Wall: wall,
 		RealTimeX: simS / wall.Seconds(),
 	}, nil
+}
+
+// SteadyHotspotResult reports the steady-state hotspot experiment.
+type SteadyHotspotResult struct {
+	Cells     int
+	Sweeps    int
+	MaxTempK  float64
+	Converged bool
+}
+
+// String formats the result, flagging a best-effort (non-converged) answer.
+func (r SteadyHotspotResult) String() string {
+	status := "converged"
+	if !r.Converged {
+		status = "NOT converged (best effort)"
+	}
+	return fmt.Sprintf("steady-state hotspot: %.2f K on %d cells after %d sweeps (%s)",
+		r.MaxTempK, r.Cells, r.Sweeps, status)
+}
+
+// SteadyHotspot relaxes the FourARM11 floorplan under its full-utilisation
+// power vector to thermal equilibrium and reports the hotspot. When the
+// sweep budget is exhausted the error wraps ErrNoConvergence and the result
+// still carries the best-effort temperatures, so callers (cmd/experiments)
+// can branch with errors.Is instead of parsing the message.
+func SteadyHotspot(surfaceCells int, tol float64, maxSweeps int) (SteadyHotspotResult, error) {
+	host, err := NewThermalHost(FourARM11(), surfaceCells)
+	if err != nil {
+		return SteadyHotspotResult{}, err
+	}
+	powers := make([]float64, host.NumComponents())
+	for i, c := range host.FP.Components {
+		powers[i] = c.Model.Power(0.6, 500e6)
+	}
+	sweeps, temps, err := host.SteadyState(powers, tol, maxSweeps)
+	res := SteadyHotspotResult{
+		Cells:     host.Model.NumCells(),
+		Sweeps:    sweeps,
+		Converged: err == nil,
+	}
+	for _, t := range temps {
+		if t > res.MaxTempK {
+			res.MaxTempK = t
+		}
+	}
+	return res, err
 }

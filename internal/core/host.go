@@ -81,6 +81,24 @@ func (h *ThermalHost) StepWindow(compPowerW []float64, dt float64) ([]float64, e
 	return h.Model.Temps(), nil
 }
 
+// SteadyState injects one vector of per-component power (watts) and relaxes
+// the thermal model to its equilibrium, returning the sweep count and the
+// bottom-surface cell temperatures. On thermal.ErrNoConvergence the
+// temperatures are still returned alongside the error as a best-effort
+// result, so callers can branch with errors.Is and keep the partial answer.
+func (h *ThermalHost) SteadyState(compPowerW []float64, tol float64, maxSweeps int) (int, []float64, error) {
+	if len(compPowerW) != len(h.FP.Components) {
+		return 0, nil, fmt.Errorf("core: power vector has %d entries, floorplan has %d components",
+			len(compPowerW), len(h.FP.Components))
+	}
+	h.pm.CellPowers(compPowerW, h.cellPw)
+	if err := h.Model.SetPowers(h.cellPw); err != nil {
+		return 0, nil, err
+	}
+	sweeps, err := h.Model.SteadyState(tol, maxSweeps)
+	return sweeps, h.Model.Temps(), err
+}
+
 // ComponentTemps converts per-cell temperatures into per-component sensor
 // readings (area-weighted over the covering cells).
 func (h *ThermalHost) ComponentTemps(cellTemps []float64) []float64 {

@@ -1,0 +1,205 @@
+package thermal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomMesh builds a randomized multi-resolution silicon grid and a coarser
+// copper grid, as NewModel's contract requires (tiling, fully covered by the
+// spreader).
+func randomMesh(rng *rand.Rand) (si, cu []Rect) {
+	nx := 3 + rng.Intn(5)
+	ny := 3 + rng.Intn(5)
+	die := (2 + 4*rng.Float64()) * 1e-3
+	si = UniformGrid(die, die, nx, ny)
+	// Refine a random subset into 2x2 sub-cells (multi-resolution mesh).
+	si = RefineGrid(si, func(Rect) bool { return rng.Float64() < 0.3 })
+	cuN := 1 + rng.Intn(3)
+	cu = UniformGrid(die, die, cuN, cuN)
+	return si, cu
+}
+
+// TestDifferentialSerialVsParallel is the correctness gate for the sharded
+// solver: for randomized floorplans and randomized power traces, the serial
+// (Workers=1) and parallel (Workers=4, forced past the cell threshold)
+// solvers must agree per cell to 1e-9 K after 1000 steps. The sharded path
+// computes exactly the same per-cell arithmetic, so the agreement is in fact
+// bit-exact; the tolerance only guards the test against future refactors.
+func TestDifferentialSerialVsParallel(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		si, cu := randomMesh(rng)
+
+		serOpt := DefaultOptions()
+		serOpt.Workers = 1
+		parOpt := DefaultOptions()
+		parOpt.Workers = 4
+		parOpt.MinParallelCells = 1 // force the sharded path on small meshes
+		if rng.Intn(2) == 0 {
+			serOpt.NzSi, parOpt.NzSi = 2, 2
+		}
+
+		ser, err := NewModel(si, cu, serOpt)
+		if err != nil {
+			t.Fatalf("seed %d: serial model: %v", seed, err)
+		}
+		par, err := NewModel(si, cu, parOpt)
+		if err != nil {
+			t.Fatalf("seed %d: parallel model: %v", seed, err)
+		}
+		if par.Workers() != 4 || ser.Workers() != 1 {
+			t.Fatalf("seed %d: workers = %d/%d", seed, ser.Workers(), par.Workers())
+		}
+
+		pw := make([]float64, ser.NumSurfaceCells())
+		for step := 0; step < 1000; step++ {
+			if step%50 == 0 { // a new window of the randomized power trace
+				for i := range pw {
+					pw[i] = 0.05 * rng.Float64()
+				}
+				if err := ser.SetPowers(pw); err != nil {
+					t.Fatal(err)
+				}
+				if err := par.SetPowers(pw); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ser.Step(2e-4)
+			par.Step(2e-4)
+		}
+
+		st, pt := ser.AllTemps(), par.AllTemps()
+		for i := range st {
+			if d := math.Abs(st[i] - pt[i]); d > 1e-9 {
+				t.Fatalf("seed %d: cell %d diverged by %.3g K (serial %.12f, parallel %.12f)",
+					seed, i, d, st[i], pt[i])
+			}
+		}
+		if ser.Time() != par.Time() {
+			t.Fatalf("seed %d: time diverged: %v vs %v", seed, ser.Time(), par.Time())
+		}
+	}
+}
+
+// parallelModel builds a model that is forced onto the sharded path.
+func parallelModel(t *testing.T, si, cu []Rect, nzSi int) *Model {
+	t.Helper()
+	opt := DefaultOptions()
+	opt.Workers = 4
+	opt.MinParallelCells = 1
+	opt.NzSi = nzSi
+	m, err := NewModel(si, cu, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestParallelEnergyBalance re-asserts global energy balance on the sharded
+// path: after integrating long past the package time constant (~1.1 s), the
+// injected power equals the convected power.
+func TestParallelEnergyBalance(t *testing.T) {
+	si := UniformGrid(4e-3, 4e-3, 8, 8)
+	cu := UniformGrid(4e-3, 4e-3, 4, 4)
+	m := parallelModel(t, si, cu, 1)
+	for i := 0; i < m.NumSurfaceCells(); i++ {
+		m.SetPower(i, 0.01)
+	}
+	for i := 0; i < 200; i++ {
+		m.Step(0.05) // 10 s total, ~9 package time constants
+	}
+	in, out := m.TotalPower(), m.ConvectedPower()
+	if math.Abs(in-out)/in > 1e-3 {
+		t.Errorf("energy balance on sharded path: in %.9f W, convected %.9f W", in, out)
+	}
+}
+
+// TestParallelMonotoneCooling re-asserts monotone cooling on the sharded
+// path: with power removed, every subsequent observation of the hottest cell
+// is no hotter than the last, and the trajectory approaches ambient from
+// above.
+func TestParallelMonotoneCooling(t *testing.T) {
+	si := UniformGrid(3e-3, 3e-3, 6, 6)
+	cu := UniformGrid(3e-3, 3e-3, 3, 3)
+	m := parallelModel(t, si, cu, 1)
+	for i := 0; i < m.NumSurfaceCells(); i++ {
+		m.SetPower(i, 0.02)
+	}
+	for i := 0; i < 100; i++ {
+		m.Step(0.05)
+	}
+	if m.MaxTemp() <= 301 {
+		t.Fatalf("did not heat: %.3f K", m.MaxTemp())
+	}
+	for i := 0; i < m.NumSurfaceCells(); i++ {
+		m.SetPower(i, 0)
+	}
+	prev := m.MaxTemp()
+	for i := 0; i < 150; i++ {
+		m.Step(0.05)
+		cur := m.MaxTemp()
+		if cur > prev+1e-12 {
+			t.Fatalf("temperature rose to %.9f K (from %.9f) while cooling at step %d", cur, prev, i)
+		}
+		for j, v := range m.Temps() {
+			if v < 300-1e-9 {
+				t.Fatalf("cell %d undershot ambient: %.9f K", j, v)
+			}
+		}
+		prev = cur
+	}
+	if prev > 300.05 {
+		t.Errorf("still %.4f K after 7.5 s of cooling", prev)
+	}
+}
+
+// TestParallelGridRefinementConvergence re-asserts grid-refinement
+// convergence through the sharded transient solver: under a uniform power
+// density, a coarse and a 4x-finer mesh integrated to (near) equilibrium
+// must agree on the temperature rise.
+func TestParallelGridRefinementConvergence(t *testing.T) {
+	die := 4e-3
+	density := 5000.0 // W/m²
+	run := func(n int) float64 {
+		si := UniformGrid(die, die, n, n)
+		cu := UniformGrid(die, die, n/2, n/2)
+		m := parallelModel(t, si, cu, 1)
+		for i, c := range si {
+			m.SetPower(i, density*c.Area())
+		}
+		for i := 0; i < 240; i++ {
+			m.Step(0.05) // 12 s, ~10 package time constants
+		}
+		return m.MaxTemp()
+	}
+	coarse, fine := run(4), run(8)
+	if rel := math.Abs(coarse-fine) / (fine - 300); rel > 0.02 {
+		t.Errorf("grid refinement changed rise by %.2f%% (coarse %.4f, fine %.4f)",
+			rel*100, coarse, fine)
+	}
+}
+
+// TestWorkersResolution pins the Options.Workers contract: 0 resolves to a
+// machine-dependent positive count, explicit values are honoured.
+func TestWorkersResolution(t *testing.T) {
+	si := UniformGrid(1e-3, 1e-3, 2, 2)
+	cu := UniformGrid(1e-3, 1e-3, 1, 1)
+	opt := DefaultOptions()
+	m, err := NewModel(si, cu, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Workers() < 1 {
+		t.Errorf("auto workers resolved to %d", m.Workers())
+	}
+	opt.Workers = 3
+	m, err = NewModel(si, cu, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Workers() != 3 {
+		t.Errorf("workers = %d, want 3", m.Workers())
+	}
+}

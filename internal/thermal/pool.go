@@ -1,0 +1,73 @@
+package thermal
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The package keeps one persistent worker pool, sized by GOMAXPROCS at first
+// use and shared by every Model, so repeated Step calls pay a channel handoff
+// per shard instead of a goroutine spawn per sub-step. The submitting
+// goroutine always executes shard 0 itself, which is why the pool holds
+// GOMAXPROCS-1 resident workers.
+var (
+	poolOnce sync.Once
+	poolCh   chan func()
+)
+
+func poolInit() {
+	workers := runtime.GOMAXPROCS(0) - 1
+	poolCh = make(chan func())
+	for i := 0; i < workers; i++ {
+		go func() {
+			for f := range poolCh {
+				f()
+			}
+		}()
+	}
+}
+
+// parallelFor splits [0, n) into at most `shards` contiguous ranges and runs
+// fn(shard, lo, hi) for each, executing shard 0 on the calling goroutine and
+// handing the rest to the pool. The channel is unbuffered, so a handoff only
+// happens when a worker is idle; otherwise the caller runs the shard inline
+// and the cost degrades gracefully under contention (or on a one-CPU host).
+// It returns only when every shard has finished.
+func parallelFor(shards, n int, fn func(shard, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	poolOnce.Do(poolInit)
+	if shards > n {
+		shards = n
+	}
+	chunk := (n + shards - 1) / shards
+	var wg sync.WaitGroup
+	for s := 1; s < shards; s++ {
+		lo := s * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		s := s
+		wg.Add(1)
+		task := func() {
+			fn(s, lo, hi)
+			wg.Done()
+		}
+		select {
+		case poolCh <- task:
+		default:
+			task()
+		}
+	}
+	hi0 := chunk
+	if hi0 > n {
+		hi0 = n
+	}
+	fn(0, 0, hi0)
+	wg.Wait()
+}

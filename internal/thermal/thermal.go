@@ -16,11 +16,19 @@
 // natural convection through a package-to-air resistance weighted by the
 // cell-to-spreader area ratio. Every cell interacts only with its
 // neighbours, so cost is linear in the number of cells.
+//
+// The solver keeps the network in a flat CSR-style layout (edge endpoint and
+// conductance arrays plus a per-cell incidence index) and can shard its cell
+// loops over a persistent worker pool; see Options.Workers. The sharded path
+// computes exactly the same per-cell arithmetic as the serial one, so both
+// produce bit-identical trajectories.
 package thermal
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
 )
 
 // Properties are the material and package constants of Table 2.
@@ -122,52 +130,115 @@ func contact(a, b Rect) (float64, bool) {
 	return 0, false
 }
 
-// Options configures mesh construction.
+// Options configures mesh construction and the solver.
 type Options struct {
 	Props Properties
 	NzSi  int // silicon sub-layers (>=1)
 	NzCu  int // copper sub-layers (>=1)
+
+	// Workers is the number of shards the solver's cell and edge loops are
+	// split into on a persistent worker pool: 0 picks GOMAXPROCS, 1 forces
+	// the serial path. Sharding never changes results — each cell's update
+	// is computed with exactly the same arithmetic in either mode.
+	Workers int
+
+	// MinParallelCells is the cell count below which the solver stays
+	// serial even with Workers > 1, so small meshes (e.g. the 28-cell
+	// Fig. 6 grid) never pay synchronisation overhead. 0 picks the
+	// default of 1024.
+	MinParallelCells int
 }
 
-// DefaultOptions returns Table 2 properties with one sub-layer per material.
+// DefaultOptions returns Table 2 properties with one sub-layer per material
+// and automatic solver sharding (Workers = GOMAXPROCS above the default
+// cell threshold).
 func DefaultOptions() Options {
 	return Options{Props: DefaultProperties(), NzSi: 1, NzCu: 1}
 }
 
-type cell struct {
-	r     Rect
-	si    bool
-	thick float64
-	cap   float64 // thermal capacitance, J/K
-}
+// defaultMinParallelCells is the serial-fallback threshold: below this many
+// RC nodes one sub-step is tens of microseconds of work at most, and shard
+// handoff would cost a measurable fraction of it.
+const defaultMinParallelCells = 1024
 
-// edge joins cells a and b with contact area and half-distances da, db from
-// each node to the interface; conductance = area / (da/ka + db/kb).
-type edge struct {
+// siKTolK is the silicon temperature drift (kelvin) that triggers a
+// conductance refresh; the conductivity law is smooth, so a 0.25 K drift
+// changes k by well under 0.2%.
+const siKTolK = 0.25
+
+// edgeRec is the construction-time form of one thermal resistance joining
+// cells a and b: conductance = area / (da/ka + db/kb), with da, db the
+// half-distances from each node to the interface.
+type edgeRec struct {
 	a, b   int
 	area   float64
 	da, db float64
-	g      float64 // cached conductance
-	fixed  bool    // true when neither side is silicon (g never changes)
 }
 
-// Model is the RC thermal network.
+// Model is the RC thermal network in a flat, solver-friendly layout.
 type Model struct {
-	props    Properties
-	nSi2D    int // cells per silicon sub-layer
-	nzSi     int
-	cells    []cell
-	edges    []edge
-	convG    []float64 // per-cell convection conductance paired with convIdx
-	convIdx  []int
-	t        []float64 // temperatures, K
-	pw       []float64 // injected power, W (bottom silicon cells)
+	props Properties
+	nSi2D int // cells per silicon sub-layer
+	nzSi  int
+	nSi   int // total silicon cells (the first nSi cells; copper follows)
+
+	// Edges as struct-of-arrays. The [0, nVarEdges) prefix touches at
+	// least one silicon cell, so its conductances depend on temperature
+	// and are refreshed; the copper-copper suffix is computed once.
+	edgeA, edgeB   []int32
+	edgeArea       []float64
+	edgeDa, edgeDb []float64
+	edgeG          []float64
+	nVarEdges      int
+
+	// CSR incidence: cell i's edges are nbrEdge[nbrStart[i]:nbrStart[i+1]]
+	// with the far endpoint in nbrCell and the edge conductance mirrored
+	// into nbrG (so the sub-step loop streams conductances sequentially
+	// instead of gathering through nbrEdge). Each cell's flow is
+	// accumulated from this index alone, which is what makes sharded
+	// sub-steps race-free: shard workers only read t and only write their
+	// own cells.
+	nbrStart []int32
+	nbrCell  []int32
+	nbrEdge  []int32
+	nbrG     []float64
+
+	convIdx []int     // top-copper cells with a convection path
+	convG   []float64 // conductance paired with convIdx
+	conv    []float64 // dense per-cell convection conductance (hot loop)
+
+	capC   []float64 // per-cell thermal capacitance, J/K
+	invCap []float64
+	t      []float64 // temperatures, K (current state)
+	tNext  []float64 // next-sub-step buffer, swapped with t
+	pw     []float64 // injected power, W (bottom silicon cells)
+	sumG   []float64 // per-cell total conductance (for stability)
+	kCell  []float64 // per-cell conductivity at the last refresh
+	tAtK   []float64 // temperatures the conductances were evaluated at
+
 	time     float64
-	sumG     []float64 // per-cell total conductance (for stability)
-	spreader float64   // spreader area, m²
-	kCell    []float64 // per-cell conductivity at the last refresh
-	tAtK     []float64 // temperatures the conductances were evaluated at
-	flow     []float64 // scratch buffer for Step
+	spreader float64 // spreader area, m²
+
+	workers int // shard count for the parallel path
+	minPar  int // serial fallback below this cell count
+}
+
+// validateGrid rejects rectangles the RC construction cannot give a physical
+// meaning: non-finite coordinates and zero or negative footprints (a
+// zero-area cell would carry zero capacitance and break the explicit
+// integrator's stability bound).
+func validateGrid(name string, cells []Rect) error {
+	for i, r := range cells {
+		for _, v := range [4]float64{r.X, r.Y, r.W, r.H} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("thermal: %s cell %d has non-finite geometry %+v", name, i, r)
+			}
+		}
+		if r.W <= geomEps || r.H <= geomEps {
+			return fmt.Errorf("thermal: %s cell %d has degenerate footprint %+v", name, i, r)
+		}
+	}
+	return nil
 }
 
 // NewModel builds the RC network. siCells is the 2D die discretisation
@@ -186,6 +257,12 @@ func NewModel(siCells, cuCells []Rect, opt Options) (*Model, error) {
 	if opt.NzSi < 1 || opt.NzCu < 1 {
 		return nil, fmt.Errorf("thermal: sub-layer counts must be >= 1")
 	}
+	if err := validateGrid("silicon", siCells); err != nil {
+		return nil, err
+	}
+	if err := validateGrid("copper", cuCells); err != nil {
+		return nil, err
+	}
 	for i, a := range siCells {
 		for _, b := range siCells[i+1:] {
 			if a.Overlap(b) > geomEps*geomEps {
@@ -193,25 +270,35 @@ func NewModel(siCells, cuCells []Rect, opt Options) (*Model, error) {
 			}
 		}
 	}
-	m := &Model{props: opt.Props, nSi2D: len(siCells), nzSi: opt.NzSi}
+	for i, a := range cuCells {
+		for _, b := range cuCells[i+1:] {
+			if a.Overlap(b) > geomEps*geomEps {
+				return nil, fmt.Errorf("thermal: overlapping copper cells %v %v", a, b)
+			}
+		}
+	}
+
+	m := &Model{props: opt.Props, nSi2D: len(siCells), nzSi: opt.NzSi,
+		nSi: len(siCells) * opt.NzSi}
 	tSi := opt.Props.SiThick / float64(opt.NzSi)
 	tCu := opt.Props.CuThick / float64(opt.NzCu)
+	nCells := len(siCells)*opt.NzSi + len(cuCells)*opt.NzCu
+	m.capC = make([]float64, 0, nCells)
 	for z := 0; z < opt.NzSi; z++ {
 		for _, r := range siCells {
-			m.cells = append(m.cells, cell{r: r, si: true, thick: tSi,
-				cap: opt.Props.SiCv * r.Area() * tSi})
+			m.capC = append(m.capC, opt.Props.SiCv*r.Area()*tSi)
 		}
 	}
 	for z := 0; z < opt.NzCu; z++ {
 		for _, r := range cuCells {
-			m.cells = append(m.cells, cell{r: r, si: false, thick: tCu,
-				cap: opt.Props.CuCv * r.Area() * tCu})
+			m.capC = append(m.capC, opt.Props.CuCv*r.Area()*tCu)
 		}
 	}
 	for _, r := range cuCells {
 		m.spreader += r.Area()
 	}
 
+	var edges []edgeRec
 	// Lateral edges within each sub-layer.
 	addLateral := func(base int, grid []Rect, thick float64) {
 		for i := 0; i < len(grid); i++ {
@@ -226,7 +313,7 @@ func NewModel(siCells, cuCells []Rect, opt Options) (*Model, error) {
 					} else {
 						da, db = grid[i].H/2, grid[j].H/2
 					}
-					m.edges = append(m.edges, edge{a: a, b: b, area: l * thick, da: da, db: db})
+					edges = append(edges, edgeRec{a: a, b: b, area: l * thick, da: da, db: db})
 				}
 			}
 		}
@@ -242,7 +329,7 @@ func NewModel(siCells, cuCells []Rect, opt Options) (*Model, error) {
 	// Vertical edges between consecutive silicon sub-layers.
 	for z := 0; z+1 < opt.NzSi; z++ {
 		for i := range siCells {
-			m.edges = append(m.edges, edge{a: z*len(siCells) + i, b: (z+1)*len(siCells) + i,
+			edges = append(edges, edgeRec{a: z*len(siCells) + i, b: (z+1)*len(siCells) + i,
 				area: siCells[i].Area(), da: tSi / 2, db: tSi / 2})
 		}
 	}
@@ -253,7 +340,7 @@ func NewModel(siCells, cuCells []Rect, opt Options) (*Model, error) {
 		coupled := 0.0
 		for j, c := range cuCells {
 			if ov := s.Overlap(c); ov > geomEps*geomEps {
-				m.edges = append(m.edges, edge{a: topSi + i, b: cuBase + j,
+				edges = append(edges, edgeRec{a: topSi + i, b: cuBase + j,
 					area: ov, da: tSi / 2, db: tCu / 2})
 				coupled += ov
 			}
@@ -265,7 +352,7 @@ func NewModel(siCells, cuCells []Rect, opt Options) (*Model, error) {
 	// Vertical edges between copper sub-layers.
 	for z := 0; z+1 < opt.NzCu; z++ {
 		for i := range cuCells {
-			m.edges = append(m.edges, edge{a: cuBase + z*len(cuCells) + i,
+			edges = append(edges, edgeRec{a: cuBase + z*len(cuCells) + i,
 				b:    cuBase + (z+1)*len(cuCells) + i,
 				area: cuCells[i].Area(), da: tCu / 2, db: tCu / 2})
 		}
@@ -282,25 +369,106 @@ func NewModel(siCells, cuCells []Rect, opt Options) (*Model, error) {
 		m.convG = append(m.convG, 1/(rHalf+rConv))
 	}
 
-	m.t = make([]float64, len(m.cells))
-	for i := range m.t {
-		m.t[i] = opt.Props.AmbientK
-	}
-	m.pw = make([]float64, len(siCells)) // bottom silicon sub-layer only
-	m.sumG = make([]float64, len(m.cells))
-	m.updateConductances()
+	m.finalize(nCells, edges, opt)
 	return m, nil
 }
 
+// finalize flattens the construction-time edge list into the CSR layout and
+// sizes the solver state.
+func (m *Model) finalize(nCells int, edges []edgeRec, opt Options) {
+	// Partition: temperature-dependent (silicon-touching) edges first, so
+	// refreshes touch a dense prefix.
+	ordered := make([]edgeRec, 0, len(edges))
+	for _, e := range edges {
+		if e.a < m.nSi || e.b < m.nSi {
+			ordered = append(ordered, e)
+		}
+	}
+	m.nVarEdges = len(ordered)
+	for _, e := range edges {
+		if !(e.a < m.nSi || e.b < m.nSi) {
+			ordered = append(ordered, e)
+		}
+	}
+
+	ne := len(ordered)
+	m.edgeA = make([]int32, ne)
+	m.edgeB = make([]int32, ne)
+	m.edgeArea = make([]float64, ne)
+	m.edgeDa = make([]float64, ne)
+	m.edgeDb = make([]float64, ne)
+	m.edgeG = make([]float64, ne)
+	for i, e := range ordered {
+		m.edgeA[i], m.edgeB[i] = int32(e.a), int32(e.b)
+		m.edgeArea[i], m.edgeDa[i], m.edgeDb[i] = e.area, e.da, e.db
+	}
+
+	// CSR incidence index.
+	deg := make([]int32, nCells+1)
+	for i := range ordered {
+		deg[m.edgeA[i]+1]++
+		deg[m.edgeB[i]+1]++
+	}
+	for i := 0; i < nCells; i++ {
+		deg[i+1] += deg[i]
+	}
+	m.nbrStart = deg
+	fill := make([]int32, nCells)
+	m.nbrCell = make([]int32, 2*ne)
+	m.nbrEdge = make([]int32, 2*ne)
+	m.nbrG = make([]float64, 2*ne)
+	for i := range ordered {
+		a, b := m.edgeA[i], m.edgeB[i]
+		pa := m.nbrStart[a] + fill[a]
+		m.nbrCell[pa], m.nbrEdge[pa] = b, int32(i)
+		fill[a]++
+		pb := m.nbrStart[b] + fill[b]
+		m.nbrCell[pb], m.nbrEdge[pb] = a, int32(i)
+		fill[b]++
+	}
+
+	m.conv = make([]float64, nCells)
+	for k, ci := range m.convIdx {
+		m.conv[ci] = m.convG[k]
+	}
+	m.invCap = make([]float64, nCells)
+	for i, c := range m.capC {
+		m.invCap[i] = 1 / c
+	}
+
+	m.t = make([]float64, nCells)
+	m.tNext = make([]float64, nCells)
+	for i := range m.t {
+		m.t[i] = m.props.AmbientK
+	}
+	m.pw = make([]float64, m.nSi2D) // bottom silicon sub-layer only
+	m.sumG = make([]float64, nCells)
+	m.kCell = make([]float64, nCells)
+	m.tAtK = make([]float64, nCells)
+
+	m.workers = opt.Workers
+	if m.workers <= 0 {
+		m.workers = runtime.GOMAXPROCS(0)
+	}
+	m.minPar = opt.MinParallelCells
+	if m.minPar <= 0 {
+		m.minPar = defaultMinParallelCells
+	}
+	m.updateConductances()
+}
+
 // NumCells returns the total node count of the RC network.
-func (m *Model) NumCells() int { return len(m.cells) }
+func (m *Model) NumCells() int { return len(m.t) }
 
 // NumSurfaceCells returns the number of bottom-silicon cells, i.e. the
 // power-injection resolution.
 func (m *Model) NumSurfaceCells() int { return m.nSi2D }
 
 // NumEdges returns the resistor count (excluding convection resistors).
-func (m *Model) NumEdges() int { return len(m.edges) }
+func (m *Model) NumEdges() int { return len(m.edgeA) }
+
+// Workers returns the effective shard count of the solver (1 means serial).
+func (m *Model) Workers() int { return m.workers }
 
 // Time returns the simulated time in seconds.
 func (m *Model) Time() float64 { return m.time }
@@ -365,52 +533,64 @@ func (m *Model) ConvectedPower() float64 {
 	return q
 }
 
+// parRange runs fn over [0, n), sharded when the model is large enough and
+// configured for it, serially otherwise.
+func (m *Model) parRange(n int, fn func(lo, hi int)) {
+	if m.workers <= 1 || len(m.t) < m.minPar || n < m.workers {
+		fn(0, n)
+		return
+	}
+	parallelFor(m.workers, n, func(_, lo, hi int) { fn(lo, hi) })
+}
+
 // updateConductances refreshes edge conductances using the current cell
 // temperatures for the non-linear silicon law, and recomputes the per-cell
 // conductance sums used for the stability bound. It also records the
 // temperatures it used, so the solver can skip refreshes while temperatures
-// have barely moved (the conductivity law is smooth: a 0.25 K drift changes
-// k by well under 0.2%).
+// have barely moved. Only the silicon-touching edge prefix is re-evaluated
+// after construction; copper-copper conductances never change.
 func (m *Model) updateConductances() {
-	if m.kCell == nil {
-		m.kCell = make([]float64, len(m.cells))
-		m.tAtK = make([]float64, len(m.cells))
-	}
-	for i := range m.cells {
-		if m.cells[i].si {
-			m.kCell[i] = m.props.SiConductivity(m.t[i])
-		} else {
-			m.kCell[i] = m.props.CuK
-		}
-		m.tAtK[i] = m.t[i]
-	}
-	for i := range m.sumG {
-		m.sumG[i] = 0
-	}
-	for i := range m.edges {
-		e := &m.edges[i]
-		if !e.fixed || e.g == 0 {
-			e.g = e.area / (e.da/m.kCell[e.a] + e.db/m.kCell[e.b])
-			if !m.cells[e.a].si && !m.cells[e.b].si {
-				e.fixed = true
+	first := m.kCell[0] == 0 // only true before the initial refresh
+	m.parRange(len(m.t), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i < m.nSi {
+				m.kCell[i] = m.props.SiConductivity(m.t[i])
+			} else {
+				m.kCell[i] = m.props.CuK
 			}
+			m.tAtK[i] = m.t[i]
 		}
-		m.sumG[e.a] += e.g
-		m.sumG[e.b] += e.g
+	})
+	ne := m.nVarEdges
+	if first {
+		ne = len(m.edgeA)
 	}
-	for i, ci := range m.convIdx {
-		m.sumG[ci] += m.convG[i]
-	}
+	m.parRange(ne, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			m.edgeG[e] = m.edgeArea[e] /
+				(m.edgeDa[e]/m.kCell[m.edgeA[e]] + m.edgeDb[e]/m.kCell[m.edgeB[e]])
+		}
+	})
+	m.parRange(len(m.t), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := m.conv[i]
+			for k := m.nbrStart[i]; k < m.nbrStart[i+1]; k++ {
+				g := m.edgeG[m.nbrEdge[k]]
+				m.nbrG[k] = g
+				s += g
+			}
+			m.sumG[i] = s
+		}
+	})
 }
 
 // conductancesStale reports whether any silicon temperature drifted more
-// than tol kelvin since the last conductance refresh.
+// than tol kelvin since the last conductance refresh (early exit on the
+// first stale cell).
 func (m *Model) conductancesStale(tol float64) bool {
-	if m.tAtK == nil {
-		return true
-	}
-	for i := 0; i < m.nSi2D*m.nzSi; i++ {
-		d := m.t[i] - m.tAtK[i]
+	t, tAtK := m.t, m.tAtK
+	for i := 0; i < m.nSi; i++ {
+		d := t[i] - tAtK[i]
 		if d > tol || d < -tol {
 			return true
 		}
@@ -422,14 +602,50 @@ func (m *Model) conductancesStale(tol float64) bool {
 // thermal time constant C/ΣG in the network.
 func (m *Model) stableDt() float64 {
 	min := math.Inf(1)
-	for i := range m.cells {
+	for i := range m.capC {
 		if m.sumG[i] > 0 {
-			if tau := m.cells[i].cap / m.sumG[i]; tau < min {
+			if tau := m.capC[i] / m.sumG[i]; tau < min {
 				min = tau
 			}
 		}
 	}
 	return 0.5 * min
+}
+
+// substepRange advances cells [lo, hi) by one explicit-Euler sub-step of h
+// seconds, reading m.t and writing m.tNext. All flows are evaluated on the
+// state at the start of the sub-step, so the result is independent of cell
+// order and of how the range is sharded. Convection is applied branchlessly
+// (conv is zero away from the top copper sub-layer).
+func (m *Model) substepRange(h float64, lo, hi int) {
+	t, tn := m.t, m.tNext
+	nbrG, nbrCell, nbrStart := m.nbrG, m.nbrCell, m.nbrStart
+	invCap, conv, pw := m.invCap, m.conv, m.pw
+	amb := m.props.AmbientK
+	for i := lo; i < hi; i++ {
+		ti := t[i]
+		q := -conv[i] * (ti - amb)
+		for k, e := int(nbrStart[i]), int(nbrStart[i+1]); k < e; k++ {
+			q += nbrG[k] * (t[nbrCell[k]] - ti)
+		}
+		if i < len(pw) {
+			q += pw[i]
+		}
+		tn[i] = ti + h*q*invCap[i]
+	}
+}
+
+// substepAll runs one sub-step over every cell — serial below the parallel
+// threshold, sharded on the worker pool above it.
+func (m *Model) substepAll(h float64) {
+	n := len(m.t)
+	if m.workers <= 1 || n < m.minPar {
+		m.substepRange(h, 0, n)
+		return
+	}
+	parallelFor(m.workers, n, func(_, lo, hi int) {
+		m.substepRange(h, lo, hi)
+	})
 }
 
 // Step advances the thermal state by dt seconds using forward Euler with
@@ -438,72 +654,47 @@ func (m *Model) stableDt() float64 {
 // were last evaluated, so the non-linear law tracks the trajectory at a
 // negligible fraction of the cost of per-sub-step re-evaluation.
 func (m *Model) Step(dt float64) {
-	if m.flow == nil {
-		m.flow = make([]float64, len(m.cells))
-	}
-	flow := m.flow
 	h := m.stableDt()
 	for remaining := dt; remaining > 1e-15; {
-		if m.conductancesStale(0.25) {
+		if m.conductancesStale(siKTolK) {
 			m.updateConductances()
 			h = m.stableDt()
 		}
 		if h > remaining {
 			h = remaining
 		}
-		for i := range flow {
-			flow[i] = 0
-		}
-		for i := range m.edges {
-			e := &m.edges[i]
-			q := e.g * (m.t[e.a] - m.t[e.b])
-			flow[e.a] -= q
-			flow[e.b] += q
-		}
-		for k, ci := range m.convIdx {
-			flow[ci] -= m.convG[k] * (m.t[ci] - m.props.AmbientK)
-		}
-		for i := range m.pw {
-			flow[i] += m.pw[i]
-		}
-		for i := range m.cells {
-			m.t[i] += h * flow[i] / m.cells[i].cap
-		}
+		m.substepAll(h)
+		m.t, m.tNext = m.tNext, m.t
 		remaining -= h
 	}
 	m.time += dt
 }
 
+// ErrNoConvergence is wrapped by the error SteadyState returns when the
+// relaxation does not reach the requested tolerance within its sweep budget;
+// callers branch on it with errors.Is and may still use the model's state as
+// a best-effort result.
+var ErrNoConvergence = errors.New("thermal: steady state did not converge")
+
 // SteadyState relaxes the network to its equilibrium for the current power
 // vector with Gauss–Seidel iteration (non-linear conductances refreshed per
-// sweep). It returns the number of sweeps used, or an error if tolerance is
-// not met within maxSweeps.
+// sweep) over the CSR incidence index. It returns the number of sweeps used,
+// or an error wrapping ErrNoConvergence if tolerance is not met within
+// maxSweeps. Sweeps are intentionally serial: Gauss–Seidel uses in-sweep
+// updates, so its trajectory is only deterministic in cell order.
 func (m *Model) SteadyState(tol float64, maxSweeps int) (int, error) {
-	type adj struct {
-		other int
-		eidx  int
-	}
-	neigh := make([][]adj, len(m.cells))
-	for i, e := range m.edges {
-		neigh[e.a] = append(neigh[e.a], adj{e.b, i})
-		neigh[e.b] = append(neigh[e.b], adj{e.a, i})
-	}
-	conv := make([]float64, len(m.cells))
-	for k, ci := range m.convIdx {
-		conv[ci] = m.convG[k]
-	}
 	for sweep := 1; sweep <= maxSweeps; sweep++ {
 		m.updateConductances()
 		var maxDelta float64
-		for i := range m.cells {
-			num := conv[i] * m.props.AmbientK
-			den := conv[i]
+		for i := range m.t {
+			num := m.conv[i] * m.props.AmbientK
+			den := m.conv[i]
 			if i < len(m.pw) {
 				num += m.pw[i]
 			}
-			for _, a := range neigh[i] {
-				g := m.edges[a.eidx].g
-				num += g * m.t[a.other]
+			for k := m.nbrStart[i]; k < m.nbrStart[i+1]; k++ {
+				g := m.edgeG[m.nbrEdge[k]]
+				num += g * m.t[m.nbrCell[k]]
 				den += g
 			}
 			if den == 0 {
@@ -519,7 +710,7 @@ func (m *Model) SteadyState(tol float64, maxSweeps int) (int, error) {
 			return sweep, nil
 		}
 	}
-	return maxSweeps, fmt.Errorf("thermal: steady state did not converge to %g in %d sweeps", tol, maxSweeps)
+	return maxSweeps, fmt.Errorf("%w to %g in %d sweeps", ErrNoConvergence, tol, maxSweeps)
 }
 
 // Reset returns every node to ambient and clears simulated time (the power

@@ -1,6 +1,7 @@
 package thermal
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -438,5 +439,30 @@ func TestSuperpositionLinearModel(t *testing.T) {
 	}
 	if !broke {
 		t.Error("non-linear model superposed perfectly; conductivity law inert?")
+	}
+}
+
+// TestSteadyStateNoConvergenceSentinel pins the error contract: an exhausted
+// sweep budget returns an error matching ErrNoConvergence via errors.Is, so
+// callers can branch on it rather than parse a formatted string, and the
+// reported sweep count equals the budget.
+func TestSteadyStateNoConvergenceSentinel(t *testing.T) {
+	m := singleColumn(t, 1e-6)
+	m.SetPower(0, 0.5)
+	sweeps, err := m.SteadyState(1e-12, 3)
+	if err == nil {
+		t.Fatal("expected non-convergence with a 3-sweep budget at tol 1e-12")
+	}
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("errors.Is(err, ErrNoConvergence) = false for %v", err)
+	}
+	if sweeps != 3 {
+		t.Errorf("sweeps = %d, want the exhausted budget 3", sweeps)
+	}
+
+	// A generous budget must converge and not report the sentinel.
+	m.Reset()
+	if _, err := m.SteadyState(1e-6, 500); err != nil {
+		t.Fatalf("expected convergence, got %v", err)
 	}
 }

@@ -60,7 +60,18 @@ type (
 	Floorplan = floorplan.Floorplan
 	// Transport moves framework MAC frames between device and host.
 	Transport = etherlink.Transport
+	// ThermalOptions configures the RC thermal model (mesh depth, material
+	// properties, and the Workers solver-sharding knob).
+	ThermalOptions = thermal.Options
 )
+
+// ErrNoConvergence is the sentinel wrapped by SteadyState errors when the
+// relaxation exhausts its sweep budget; branch on it with errors.Is.
+var ErrNoConvergence = thermal.ErrNoConvergence
+
+// DefaultThermalOptions returns the Table 2 thermal model configuration
+// (auto worker count: Workers 0 resolves to GOMAXPROCS).
+func DefaultThermalOptions() ThermalOptions { return thermal.DefaultOptions() }
 
 // DefaultPlatform returns the Table 3 exploration platform with the given
 // core count (4 KB I/D caches, 16 KB private memories, 1 MB shared, OPB).
@@ -97,6 +108,12 @@ func Fig6(iters int, withTM bool) (CoEmulationConfig, error) {
 // builds the RC model around it (Table 2 properties).
 func NewThermalHost(fp *Floorplan, targetCells int) (*ThermalHost, error) {
 	return core.NewThermalHost(fp, targetCells, thermal.DefaultOptions())
+}
+
+// NewThermalHostWith is NewThermalHost with explicit thermal options, e.g. to
+// pin the solver worker count (opt.Workers) or the mesh depth.
+func NewThermalHostWith(fp *Floorplan, targetCells int, opt ThermalOptions) (*ThermalHost, error) {
+	return core.NewThermalHost(fp, targetCells, opt)
 }
 
 // FourARM7 and FourARM11 return the floorplans of Figure 4.

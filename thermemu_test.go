@@ -157,7 +157,7 @@ func TestResourcesReproducesUtilisation(t *testing.T) {
 }
 
 func TestSolverPerfBeatsRealTimeClaim(t *testing.T) {
-	r, err := SolverPerf(660, 0.2)
+	r, err := SolverPerf(660, 0.2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
