@@ -20,6 +20,7 @@ import (
 	"thermemu"
 	"thermemu/internal/core"
 	"thermemu/internal/emu"
+	"thermemu/internal/etherlink"
 	"thermemu/internal/noc"
 	"thermemu/internal/tm"
 	"thermemu/internal/trace"
@@ -43,21 +44,25 @@ func main() {
 		workers  = flag.Int("workers", 0, "thermal solver shards (0 = auto, 1 = serial)")
 		csvPath  = flag.String("csv", "", "write per-window samples to this CSV file")
 		hostAddr = flag.String("host", "", "remote thermal server address (empty = in-process)")
+		fault     = flag.String("fault", "", "inject link faults, e.g. drop=0.01,dup=0.005,reorder=0.01,corrupt=0.001,delay=2ms,cut=500 (applied to both directions)")
+		faultSeed = flag.Int64("fault-seed", 1, "PRNG seed for -fault")
+		redial    = flag.Bool("redial", false, "supervise the host connection: reconnect with capped exponential backoff on link faults")
 		report   = flag.Bool("report", false, "print the detailed platform statistics report")
 		vcdPath  = flag.String("vcd", "", "write the run as a VCD waveform to this path")
 		jsonPath = flag.String("json", "", "write the run's samples as JSON to this path")
 	)
 	flag.Parse()
 	if err := run(*cores, *workload, *n, *iters, *size, *ic, *nocSpec, *freqMHz, *withTM,
-		*windowMs, *tscale, *cells, *workers, *csvPath, *hostAddr, *report, *vcdPath, *jsonPath); err != nil {
+		*windowMs, *tscale, *cells, *workers, *csvPath, *hostAddr, *fault, *faultSeed,
+		*redial, *report, *vcdPath, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "thermemu:", err)
 		os.Exit(1)
 	}
 }
 
 func run(cores int, workload string, n, iters, size int, ic, nocSpec string, freqMHz int,
-	withTM bool, windowMs, tscale float64, cells, workers int, csvPath, hostAddr string,
-	report bool, vcdPath, jsonPath string) error {
+	withTM bool, windowMs, tscale float64, cells, workers int, csvPath, hostAddr, fault string,
+	faultSeed int64, redial, report bool, vcdPath, jsonPath string) error {
 	pcfg := thermemu.DefaultPlatform(cores)
 	switch ic {
 	case "opb":
@@ -119,7 +124,30 @@ func run(cores int, workload string, n, iters, size int, ic, nocSpec string, fre
 		cfg.Policy = tm.NewThresholdDFS()
 	}
 	if hostAddr != "" {
-		tr, err := thermemu.DialThermalHost(hostAddr)
+		fcfg, err := etherlink.ParseFaultSpec(fault)
+		if err != nil {
+			return err
+		}
+		wrap := func(tr thermemu.Transport) thermemu.Transport {
+			if fcfg.Zero() {
+				return tr
+			}
+			return etherlink.NewFaultTransport(tr, faultSeed, fcfg, fcfg)
+		}
+		var tr thermemu.Transport
+		if redial {
+			tr, err = etherlink.DialSupervised(etherlink.SupervisorConfig{
+				Addr:         hostAddr,
+				GracefulStop: true,
+				Wrap:         wrap,
+				Logf:         func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) },
+			})
+		} else {
+			tr, err = thermemu.DialThermalHost(hostAddr)
+			if err == nil {
+				tr = wrap(tr)
+			}
+		}
 		if err != nil {
 			return err
 		}
@@ -164,8 +192,10 @@ func run(cores int, workload string, n, iters, size int, ic, nocSpec string, fre
 	fmt.Printf("max temp:       %.2f K\n", res.MaxTempK)
 	fmt.Printf("DFS events:     %d\n", res.DFSEvents)
 	if hostAddr != "" {
-		fmt.Printf("link stats:     %d stats frames, %d temps frames, %d congestions\n",
-			res.Congestion.StatsSent, res.Congestion.TempsRecv, res.Congestion.Congestions)
+		fmt.Printf("link stats:     %d stats frames, %d temps frames, %d congestions, %d retries\n",
+			res.Congestion.StatsSent, res.Congestion.TempsRecv, res.Congestion.Congestions,
+			res.Congestion.Retries)
+		fmt.Printf("link layer:     %s\n", res.Link)
 	}
 	if !res.Done {
 		fmt.Println("note:           run stopped before the workload halted")

@@ -1,19 +1,31 @@
 // Command thermserver is the host-PC side of the framework: it listens for
-// the device (the FPGA-side emulation, cmd/thermemu with -host) on TCP,
+// devices (the FPGA-side emulation, cmd/thermemu with -host) on TCP,
 // receives per-window power statistics as framework MAC frames, integrates
 // the RC thermal model and feeds the new cell temperatures back in real
-// time (Sections 5 and 6 of the paper).
+// time (Sections 5 and 6 of the paper). Each connection is served
+// concurrently with its own thermal state; per-connection failures are
+// logged and do not take the server down.
 //
-//	thermserver -listen :9077 -floorplan arm11 -cells 28
+//	thermserver -listen :9077 -floorplan arm11 -cells 28 -metrics :9078
+//
+// With -metrics set, GET /metrics returns a JSON snapshot of the server and
+// aggregate link-layer counters (frames, retries, gaps, CRC errors,
+// congestion freezes, latency histogram).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log"
 	"net"
+	"net/http"
 	"os"
+	"sync/atomic"
+	"time"
 
 	"thermemu"
+	"thermemu/internal/core"
 	"thermemu/internal/etherlink"
 )
 
@@ -24,15 +36,50 @@ func main() {
 		cells   = flag.Int("cells", 28, "thermal cells for the floorplan grid")
 		workers = flag.Int("workers", 0, "thermal solver shards (0 = auto, 1 = serial)")
 		once    = flag.Bool("once", false, "serve a single connection, then exit")
+		metrics = flag.String("metrics", "", "HTTP metrics listen address (empty = disabled)")
+		idle    = flag.Duration("idle", 30*time.Second, "drop a connection silent for this long")
+		plain   = flag.Bool("plain-link", false, "disable the NACK/resend reliability protocol")
 	)
 	flag.Parse()
-	if err := run(*listen, *plan, *cells, *workers, *once); err != nil {
+	if err := run(*listen, *plan, *cells, *workers, *once, *metrics, *idle, *plain); err != nil {
 		fmt.Fprintln(os.Stderr, "thermserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, plan string, cells, workers int, once bool) error {
+// serverStats aggregates server-level counters across all connections.
+type serverStats struct {
+	Accepted    atomic.Uint64
+	Active      atomic.Int64
+	RunsOK      atomic.Uint64
+	RunsFailed  atomic.Uint64
+	link        etherlink.LinkStats
+	startedUnix int64
+}
+
+// metricsSnapshot is the /metrics JSON document.
+type metricsSnapshot struct {
+	UptimeS     float64                `json:"uptime_s"`
+	Accepted    uint64                 `json:"connections_accepted"`
+	Active      int64                  `json:"connections_active"`
+	RunsOK      uint64                 `json:"runs_ok"`
+	RunsFailed  uint64                 `json:"runs_failed"`
+	Link        etherlink.LinkSnapshot `json:"link"`
+}
+
+func (s *serverStats) snapshot() metricsSnapshot {
+	return metricsSnapshot{
+		UptimeS:    time.Since(time.Unix(s.startedUnix, 0)).Seconds(),
+		Accepted:   s.Accepted.Load(),
+		Active:     s.Active.Load(),
+		RunsOK:     s.RunsOK.Load(),
+		RunsFailed: s.RunsFailed.Load(),
+		Link:       s.link.Snapshot(),
+	}
+}
+
+func run(listen, plan string, cells, workers int, once bool, metricsAddr string,
+	idle time.Duration, plain bool) error {
 	var fp *thermemu.Floorplan
 	switch plan {
 	case "arm7":
@@ -47,14 +94,34 @@ func run(listen, plan string, cells, workers int, once bool) error {
 		return err
 	}
 	defer l.Close()
+
+	stats := &serverStats{startedUnix: time.Now().Unix()}
+	if metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(stats.snapshot())
+		})
+		ml, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ml.Close()
+		go http.Serve(ml, mux)
+		fmt.Printf("thermserver: metrics on http://%s/metrics\n", ml.Addr())
+	}
+
 	fmt.Printf("thermserver: %s floorplan, %d thermal cells, listening on %s\n",
 		fp.Name, cells, l.Addr())
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			return err
-		}
-		fmt.Printf("thermserver: device connected from %s\n", conn.RemoteAddr())
+
+	handle := func(conn net.Conn) {
+		stats.Accepted.Add(1)
+		stats.Active.Add(1)
+		defer stats.Active.Add(-1)
+		remote := conn.RemoteAddr()
+		log.Printf("thermserver: device connected from %s", remote)
 		// Fresh thermal state per connection, as the paper launches the
 		// thermal tool per emulation run.
 		opt := thermemu.DefaultThermalOptions()
@@ -63,18 +130,39 @@ func run(listen, plan string, cells, workers int, once bool) error {
 		}
 		host, err := thermemu.NewThermalHostWith(fp, cells, opt)
 		if err != nil {
-			return err
+			stats.RunsFailed.Add(1)
+			log.Printf("thermserver: %s: thermal host: %v", remote, err)
+			conn.Close()
+			return
 		}
 		tr := etherlink.NewTCP(conn, 64)
-		if err := host.Serve(tr); err != nil {
-			fmt.Printf("thermserver: session ended: %v\n", err)
-		} else {
-			fmt.Printf("thermserver: run complete (%.3f s simulated, max %.2f K)\n",
-				host.Model.Time(), host.Model.MaxTemp())
+		defer tr.Close()
+		sopt := core.ServeOptions{Stats: &stats.link, Plain: plain}
+		if idle > 0 {
+			// The reliable recv loop's retry budget doubles as the idle
+			// timeout: retries × timeout ≈ idle.
+			sopt.RetryTimeout = 250 * time.Millisecond
+			sopt.MaxRetries = int(idle / sopt.RetryTimeout)
 		}
-		tr.Close()
+		if err := host.ServeWith(tr, sopt); err != nil {
+			stats.RunsFailed.Add(1)
+			log.Printf("thermserver: %s: session ended: %v", remote, err)
+			return
+		}
+		stats.RunsOK.Add(1)
+		log.Printf("thermserver: %s: run complete (%.3f s simulated, max %.2f K)",
+			remote, host.Model.Time(), host.Model.MaxTemp())
+	}
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
 		if once {
+			handle(conn)
 			return nil
 		}
+		go handle(conn)
 	}
 }

@@ -40,6 +40,11 @@ type Config struct {
 	// ThermalHost.Serve. DrainPhysCycles models the congestion penalty.
 	Transport       etherlink.Transport
 	DrainPhysCycles uint64
+	// Link tunes the NACK/resend-window reliability protocol of the
+	// dispatcher endpoint (zero values take the etherlink defaults);
+	// LinkPlain disables it entirely.
+	Link      etherlink.ReliableConfig
+	LinkPlain bool
 	// MaxCycles bounds the run (0 = until the workload halts, with a large
 	// safety cap).
 	MaxCycles uint64
@@ -74,6 +79,9 @@ type Result struct {
 	MaxTempK   float64
 	FinalSnap  emu.Snapshot
 	Congestion etherlink.DispatcherStats
+	// Link is the link-layer metrics snapshot of a transport-mode run
+	// (frames, bytes, retries, gaps, CRC errors, latency histogram).
+	Link etherlink.LinkSnapshot
 	// Report is the platform's detailed statistics report at run end.
 	Report string
 }
@@ -140,6 +148,9 @@ func Run(cfg Config, onSample func(Sample)) (*Result, error) {
 	var disp *etherlink.Dispatcher
 	if cfg.Transport != nil {
 		disp = etherlink.NewDispatcher(cfg.Transport, p.VPCM, cfg.DrainPhysCycles)
+		if !cfg.LinkPlain {
+			disp.EnableReliability(cfg.Link)
+		}
 		if err := disp.SendCtrl(etherlink.CtrlStart, uint64(cfg.Host.NumComponents())); err != nil {
 			return nil, err
 		}
@@ -265,6 +276,7 @@ func Run(cfg Config, onSample func(Sample)) (*Result, error) {
 			return nil, err
 		}
 		res.Congestion = disp.Stats()
+		res.Link = disp.Link().Snapshot()
 	}
 	res.Cycles = p.VPCM.Cycle()
 	res.VirtualS = p.VPCM.Time()

@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"thermemu/internal/etherlink"
 	"thermemu/internal/floorplan"
@@ -109,12 +110,44 @@ func (h *ThermalHost) ComponentTemps(cellTemps []float64) []float64 {
 	return out
 }
 
+// ServeOptions tunes one Serve session.
+type ServeOptions struct {
+	// Stats, when non-nil, aggregates link metrics for this session (a
+	// server shares one LinkStats across every connection it accepts).
+	Stats *etherlink.LinkStats
+	// Plain disables the NACK/resend-window reliability protocol; by
+	// default the host heals link loss like the device does.
+	Plain bool
+	// Window overrides the resend-window depth (frames).
+	Window int
+	// RetryTimeout is how long the host waits for the device before
+	// re-soliciting; with MaxRetries it forms the idle timeout after which
+	// a silent connection is dropped with etherlink.ErrLinkStalled.
+	RetryTimeout time.Duration
+	MaxRetries   int
+}
+
 // Serve runs the host side of the Ethernet protocol on a transport: it
 // answers every statistics frame with a temperature frame until a CtrlStop
 // arrives or the transport closes. This is what cmd/thermserver runs on a
 // TCP listener.
 func (h *ThermalHost) Serve(tr etherlink.Transport) error {
+	return h.ServeWith(tr, ServeOptions{})
+}
+
+// ServeWith is Serve with explicit link options.
+func (h *ThermalHost) ServeWith(tr etherlink.Transport, opt ServeOptions) error {
 	ep := etherlink.NewEndpoint(tr, etherlink.HostMAC, etherlink.DeviceMAC)
+	if opt.Stats != nil {
+		ep.SetLinkStats(opt.Stats)
+	}
+	if !opt.Plain {
+		ep.EnableReliability(etherlink.ReliableConfig{
+			Window:       opt.Window,
+			RetryTimeout: opt.RetryTimeout,
+			MaxRetries:   opt.MaxRetries,
+		})
+	}
 	for {
 		f, err := ep.Recv()
 		if err != nil {

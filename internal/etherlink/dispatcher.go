@@ -1,6 +1,11 @@
 package etherlink
 
-import "thermemu/internal/sniffer"
+import (
+	"sync/atomic"
+	"time"
+
+	"thermemu/internal/sniffer"
+)
 
 // Freezer is the VPCM surface the dispatcher uses when the Ethernet link
 // congests: the virtual clock is stopped while the link drains so that no
@@ -11,8 +16,20 @@ type Freezer interface {
 	AddFrozenTime(physCycles uint64)
 }
 
-// FreezeSource is the VPCM freeze-source name used by the dispatcher.
-const FreezeSource = "ethernet"
+// FreezeAccounter is optionally implemented by Freezers that attribute
+// frozen time to a named source (the VPCM does); the dispatcher uses it to
+// separate congestion freezes from retransmission freezes.
+type FreezeAccounter interface {
+	AddFrozenTimeSource(source string, physCycles uint64)
+}
+
+// VPCM freeze-source names used by the dispatcher.
+const (
+	FreezeSource = "ethernet"
+	// ResendFreezeSource attributes time frozen while the link protocol
+	// heals loss (NACK/resend stalls) rather than plain congestion.
+	ResendFreezeSource = "ethernet-resend"
+)
 
 // DispatcherStats counts dispatcher activity.
 type DispatcherStats struct {
@@ -21,21 +38,32 @@ type DispatcherStats struct {
 	TempsRecv   uint64
 	CtrlRecv    uint64
 	Congestions uint64
-	FrozenPhys  uint64 // physical cycles spent frozen on congestion
+	FrozenPhys  uint64 // physical cycles spent frozen on congestion/resend
+	Retries     uint64 // recv stalls healed by the reliable protocol
 }
 
 // Dispatcher is the device-side Ethernet engine: it serialises statistics
 // messages from the sampler onto the transport, and freezes the virtual
 // platform clock through the VPCM whenever the link cannot accept a frame
-// immediately.
+// immediately. Its counters are atomic, so Stats() may be read while the
+// loop runs.
 type Dispatcher struct {
-	ep    *Endpoint
-	vpcm  Freezer
-	stats DispatcherStats
+	ep   *Endpoint
+	vpcm Freezer
 	// drainPhysCycles models how many physical cycles one congested frame
 	// costs the emulation while the virtual clock is frozen (FIFO drain at
 	// line rate).
 	drainPhysCycles uint64
+
+	statsSent   atomic.Uint64
+	eventsSent  atomic.Uint64
+	tempsRecv   atomic.Uint64
+	ctrlRecv    atomic.Uint64
+	congestions atomic.Uint64
+	frozenPhys  atomic.Uint64
+	retries     atomic.Uint64
+
+	lastSendNs atomic.Int64 // wall clock of the last stats send, for RTT
 }
 
 // NewDispatcher creates a dispatcher over the transport. drainPhysCycles is
@@ -48,42 +76,102 @@ func NewDispatcher(tr Transport, vpcm Freezer, drainPhysCycles uint64) *Dispatch
 	}
 }
 
-// Stats returns the dispatcher counters.
-func (d *Dispatcher) Stats() DispatcherStats { return d.stats }
+// EnableReliability turns on the endpoint's NACK/resend-window protocol and
+// hooks retransmission stalls into the VPCM freeze accounting, preserving
+// the freeze-don't-drop guarantee over a faulty link.
+func (d *Dispatcher) EnableReliability(cfg ReliableConfig) {
+	inner := cfg.OnRetry
+	cfg.OnRetry = func(attempt int) {
+		d.retries.Add(1)
+		d.accountFreeze(ResendFreezeSource)
+		if inner != nil {
+			inner(attempt)
+		}
+	}
+	d.ep.EnableReliability(cfg)
+}
+
+// accountFreeze charges one drain period to the VPCM under the given
+// source and mirrors it in the dispatcher/link counters.
+func (d *Dispatcher) accountFreeze(source string) {
+	if d.vpcm != nil {
+		d.vpcm.RequestFreeze(source)
+		if fa, ok := d.vpcm.(FreezeAccounter); ok {
+			fa.AddFrozenTimeSource(source, d.drainPhysCycles)
+		} else {
+			d.vpcm.AddFrozenTime(d.drainPhysCycles)
+		}
+		d.vpcm.ReleaseFreeze(source)
+	}
+	d.frozenPhys.Add(d.drainPhysCycles)
+	d.ep.stats.FrozenPhys.Add(d.drainPhysCycles)
+}
+
+// Stats returns a snapshot of the dispatcher counters.
+func (d *Dispatcher) Stats() DispatcherStats {
+	return DispatcherStats{
+		StatsSent:   d.statsSent.Load(),
+		EventsSent:  d.eventsSent.Load(),
+		TempsRecv:   d.tempsRecv.Load(),
+		CtrlRecv:    d.ctrlRecv.Load(),
+		Congestions: d.congestions.Load(),
+		FrozenPhys:  d.frozenPhys.Load(),
+		Retries:     d.retries.Load(),
+	}
+}
+
+// Link returns the link-layer metrics aggregate of the dispatcher's
+// endpoint (frames, bytes, gaps, CRC errors, retries, latency histogram).
+func (d *Dispatcher) Link() *LinkStats { return d.ep.LinkStats() }
 
 // Endpoint exposes the underlying typed endpoint (e.g. for control traffic).
 func (d *Dispatcher) Endpoint() *Endpoint { return d.ep }
 
-// SendStats transmits one statistics window. On congestion the virtual
-// clock is frozen until the transport accepts the frame.
-func (d *Dispatcher) SendStats(s *Stats) error {
-	b, err := d.ep.frame(MsgStats, s.MarshalPayload()).Marshal()
-	if err != nil {
-		return err
-	}
+// sendBackpressured transmits a marshalled frame, freezing the virtual
+// clock while the congested FIFO drains (Section 4.2): statistics are never
+// dropped, emulated time is never skewed.
+func (d *Dispatcher) sendBackpressured(b []byte) error {
 	ok, err := d.ep.Tr.TrySend(b)
 	if err != nil {
 		return err
 	}
 	if !ok {
-		// Link congested: stop the virtual clock, block until the FIFO
-		// drains, account the frozen time, resume.
-		d.stats.Congestions++
+		d.congestions.Add(1)
+		d.ep.stats.Congestions.Add(1)
 		if d.vpcm != nil {
 			d.vpcm.RequestFreeze(FreezeSource)
 		}
 		err = d.ep.Tr.Send(b)
 		if d.vpcm != nil {
-			d.vpcm.AddFrozenTime(d.drainPhysCycles)
+			if fa, ok := d.vpcm.(FreezeAccounter); ok {
+				fa.AddFrozenTimeSource(FreezeSource, d.drainPhysCycles)
+			} else {
+				d.vpcm.AddFrozenTime(d.drainPhysCycles)
+			}
 			d.vpcm.ReleaseFreeze(FreezeSource)
 		}
-		d.stats.FrozenPhys += d.drainPhysCycles
+		d.frozenPhys.Add(d.drainPhysCycles)
+		d.ep.stats.FrozenPhys.Add(d.drainPhysCycles)
 		if err != nil {
 			return err
 		}
 	}
-	d.ep.Sent++
-	d.stats.StatsSent++
+	d.ep.noteSent(len(b))
+	return nil
+}
+
+// SendStats transmits one statistics window. On congestion the virtual
+// clock is frozen until the transport accepts the frame.
+func (d *Dispatcher) SendStats(s *Stats) error {
+	b, err := d.ep.nextFrame(MsgStats, s.MarshalPayload())
+	if err != nil {
+		return err
+	}
+	if err := d.sendBackpressured(b); err != nil {
+		return err
+	}
+	d.statsSent.Add(1)
+	d.lastSendNs.Store(time.Now().UnixNano())
 	return nil
 }
 
@@ -102,10 +190,13 @@ func (d *Dispatcher) RecvTemps(onCtrl func(*Ctrl)) (*Temps, error) {
 		}
 		switch f.Type {
 		case MsgTemp:
-			d.stats.TempsRecv++
+			d.tempsRecv.Add(1)
+			if t0 := d.lastSendNs.Swap(0); t0 != 0 {
+				d.ep.stats.ObserveLatency(time.Duration(time.Now().UnixNano() - t0))
+			}
 			return UnmarshalTemps(f.Payload)
 		case MsgCtrl:
-			d.stats.CtrlRecv++
+			d.ctrlRecv.Add(1)
 			if onCtrl != nil {
 				c, err := UnmarshalCtrl(f.Payload)
 				if err != nil {
@@ -133,31 +224,14 @@ func (d *Dispatcher) PumpEvents(ring *sniffer.Ring) (int, error) {
 			break
 		}
 		payload := (&Events{Entries: buf[:n]}).MarshalPayload()
-		b, err := d.ep.frame(MsgEvents, payload).Marshal()
+		b, err := d.ep.nextFrame(MsgEvents, payload)
 		if err != nil {
 			return total, err
 		}
-		ok, err := d.ep.Tr.TrySend(b)
-		if err != nil {
+		if err := d.sendBackpressured(b); err != nil {
 			return total, err
 		}
-		if !ok {
-			d.stats.Congestions++
-			if d.vpcm != nil {
-				d.vpcm.RequestFreeze(FreezeSource)
-			}
-			err = d.ep.Tr.Send(b)
-			if d.vpcm != nil {
-				d.vpcm.AddFrozenTime(d.drainPhysCycles)
-				d.vpcm.ReleaseFreeze(FreezeSource)
-			}
-			d.stats.FrozenPhys += d.drainPhysCycles
-			if err != nil {
-				return total, err
-			}
-		}
-		d.ep.Sent++
-		d.stats.EventsSent += uint64(n)
+		d.eventsSent.Add(uint64(n))
 		total += n
 	}
 	return total, nil

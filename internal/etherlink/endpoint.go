@@ -1,0 +1,364 @@
+package etherlink
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors of the sequencing/reliability layer.
+var (
+	// ErrSeqGap marks a frame that arrived ahead of the expected sequence
+	// number on a non-reliable endpoint (frames were lost in between).
+	ErrSeqGap = errors.New("etherlink: sequence gap")
+	// ErrLinkStalled marks a reliable Recv that exhausted its retry budget
+	// without making progress: the peer is gone or the link is dead.
+	ErrLinkStalled = errors.New("etherlink: link stalled")
+	// ErrResendWindow marks a resend request for a frame that has already
+	// left the resend window; the session cannot be healed.
+	ErrResendWindow = errors.New("etherlink: resend window overrun")
+)
+
+// ctrlStopSeq is the out-of-band sequence number a connection supervisor
+// stamps on the graceful CtrlStop it emits at shutdown (it has no view of
+// the endpoint's sequence space). CtrlStop is accepted regardless of
+// sequence position — it is terminal, ordering no longer matters.
+const ctrlStopSeq = ^uint32(0)
+
+// seqBefore reports whether a precedes b in wraparound-safe order.
+func seqBefore(a, b uint32) bool { return int32(a-b) < 0 }
+
+// ReliableConfig tunes an endpoint's loss-recovery protocol.
+type ReliableConfig struct {
+	// Window is how many sent frames are buffered for retransmission.
+	Window int
+	// RetryTimeout is how long Recv waits before re-soliciting the peer
+	// with a NACK for the expected sequence number.
+	RetryTimeout time.Duration
+	// MaxRetries bounds consecutive solicits without any frame arriving;
+	// exceeding it returns ErrLinkStalled. RetryTimeout × MaxRetries is the
+	// endpoint's idle budget.
+	MaxRetries int
+	// OnRetry, when non-nil, observes every re-solicit (the dispatcher
+	// hooks VPCM freeze accounting here so retransmission stalls do not
+	// skew the emulated timing).
+	OnRetry func(attempt int)
+}
+
+// DefaultReliability returns the production defaults: a 128-frame resend
+// window and a 250 ms × 40 ≈ 10 s idle budget.
+func DefaultReliability() ReliableConfig {
+	return ReliableConfig{Window: 128, RetryTimeout: 250 * time.Millisecond, MaxRetries: 40}
+}
+
+func (c *ReliableConfig) fillDefaults() {
+	d := DefaultReliability()
+	if c.Window <= 0 {
+		c.Window = d.Window
+	}
+	if c.RetryTimeout <= 0 {
+		c.RetryTimeout = d.RetryTimeout
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = d.MaxRetries
+	}
+}
+
+// maxRecoveries bounds in-protocol recovery events (gaps, duplicates,
+// corrupt frames) within one Recv call, so a pathological peer cannot spin
+// the loop forever. Recoveries are cheap (a frame arrived), so the bound is
+// generous.
+const maxRecoveries = 10_000
+
+type winEntry struct {
+	seq   uint32
+	frame []byte
+}
+
+// Endpoint is a typed wrapper over a Transport: it stamps addresses and
+// sequence numbers on the way out, and validates destination MAC, CRC and
+// sequence contiguity on the way in. With EnableReliability it additionally
+// heals loss, duplication, reordering and corruption through a NACK/
+// resend-window handshake, so the dispatcher's freeze-don't-drop guarantee
+// holds over a faulty link.
+//
+// Counters are atomic: Stats()/SentCount()/ReceivedCount() may be read
+// concurrently with the protocol loop.
+type Endpoint struct {
+	Tr     Transport
+	Local  MAC
+	Remote MAC
+
+	seq      atomic.Uint32 // next sequence number to stamp
+	sent     atomic.Uint64
+	received atomic.Uint64
+	expect   uint32 // next expected peer sequence number (Recv loop only)
+	stats    *LinkStats
+
+	rel *ReliableConfig // nil = plain (validate, but surface gaps as errors)
+
+	sendMu sync.Mutex
+	window []winEntry // resend ring, oldest first
+}
+
+// NewEndpoint builds an endpoint with the given addresses.
+func NewEndpoint(tr Transport, local, remote MAC) *Endpoint {
+	return &Endpoint{Tr: tr, Local: local, Remote: remote, stats: &LinkStats{}}
+}
+
+// SetLinkStats shares a metrics aggregate (e.g. one per server) with the
+// endpoint; by default every endpoint owns a private LinkStats.
+func (e *Endpoint) SetLinkStats(s *LinkStats) {
+	if s != nil {
+		e.stats = s
+	}
+}
+
+// LinkStats returns the endpoint's metrics aggregate.
+func (e *Endpoint) LinkStats() *LinkStats { return e.stats }
+
+// EnableReliability switches the endpoint to the NACK/resend-window
+// protocol. Zero-valued config fields take the DefaultReliability values.
+// Both peers must enable it for loss healing to converge.
+func (e *Endpoint) EnableReliability(cfg ReliableConfig) {
+	cfg.fillDefaults()
+	e.rel = &cfg
+}
+
+// NextSeq returns the sequence number the next sent frame will carry.
+func (e *Endpoint) NextSeq() uint32 { return e.seq.Load() }
+
+// SentCount and ReceivedCount report delivered traffic (frames accepted by
+// the transport / frames handed to the caller).
+func (e *Endpoint) SentCount() uint64     { return e.sent.Load() }
+func (e *Endpoint) ReceivedCount() uint64 { return e.received.Load() }
+
+// nextFrame marshals a typed frame stamped with the next sequence number
+// and, in reliable mode, records it in the resend window.
+func (e *Endpoint) nextFrame(typ MsgType, payload []byte) ([]byte, error) {
+	e.sendMu.Lock()
+	defer e.sendMu.Unlock()
+	seq := e.seq.Load()
+	f := &Frame{Dst: e.Remote, Src: e.Local, Type: typ, Seq: seq, Payload: payload}
+	b, err := f.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	e.seq.Add(1)
+	if e.rel != nil {
+		if len(e.window) >= e.rel.Window {
+			e.window = e.window[1:]
+		}
+		e.window = append(e.window, winEntry{seq: seq, frame: b})
+	}
+	return b, nil
+}
+
+// noteSent accounts one frame accepted by the transport.
+func (e *Endpoint) noteSent(n int) {
+	e.sent.Add(1)
+	e.stats.FramesSent.Add(1)
+	e.stats.BytesSent.Add(uint64(n))
+}
+
+func (e *Endpoint) noteRecv(n int) {
+	e.received.Add(1)
+	e.stats.FramesRecv.Add(1)
+	e.stats.BytesRecv.Add(uint64(n))
+}
+
+// Send marshals and transmits a typed message, blocking until accepted.
+func (e *Endpoint) Send(typ MsgType, payload []byte) error {
+	b, err := e.nextFrame(typ, payload)
+	if err != nil {
+		return err
+	}
+	if err := e.Tr.Send(b); err != nil {
+		return err
+	}
+	e.noteSent(len(b))
+	return nil
+}
+
+// sendNack best-effort requests a resend of everything from seq onward.
+// NACKs ride outside the sequence space and are never buffered: a lost NACK
+// is replaced by the next retry timeout.
+func (e *Endpoint) sendNack(seq uint32) {
+	f := &Frame{Dst: e.Remote, Src: e.Local, Type: MsgNack, Seq: seq}
+	b, err := f.Marshal()
+	if err != nil {
+		return
+	}
+	if ok, _ := e.Tr.TrySend(b); ok {
+		e.stats.NacksSent.Add(1)
+	}
+}
+
+// resendFrom retransmits every buffered frame with sequence >= from. A
+// request beyond the buffered horizon is unhealable and returns
+// ErrResendWindow; a request for frames not yet sent is a stale NACK and is
+// ignored. Retransmission is best-effort (TrySend): a congested link stops
+// the burst and the peer's next NACK resumes it.
+func (e *Endpoint) resendFrom(from uint32) error {
+	e.sendMu.Lock()
+	defer e.sendMu.Unlock()
+	next := e.seq.Load()
+	if !seqBefore(from, next) {
+		return nil // nothing outstanding at or past `from`
+	}
+	if len(e.window) == 0 || seqBefore(from, e.window[0].seq) {
+		oldest := next
+		if len(e.window) > 0 {
+			oldest = e.window[0].seq
+		}
+		return fmt.Errorf("%w: peer wants seq %d, oldest buffered %d", ErrResendWindow, from, oldest)
+	}
+	for _, w := range e.window {
+		if seqBefore(w.seq, from) {
+			continue
+		}
+		ok, err := e.Tr.TrySend(w.frame)
+		if err != nil || !ok {
+			return nil // congested or transient: the peer will re-NACK
+		}
+		e.stats.Resent.Add(1)
+	}
+	return nil
+}
+
+// isCtrlStop reports whether the frame is a terminal CtrlStop, which is
+// honoured regardless of its sequence position.
+func isCtrlStop(f *Frame) bool {
+	if f.Type != MsgCtrl {
+		return false
+	}
+	c, err := UnmarshalCtrl(f.Payload)
+	return err == nil && c.Op == CtrlStop
+}
+
+// Recv receives the next in-order frame. In reliable mode it transparently
+// heals gaps, duplicates and corruption via the NACK protocol, returning
+// ErrLinkStalled when the retry budget runs out. In plain mode a sequence
+// gap is surfaced as an ErrSeqGap-wrapped error.
+func (e *Endpoint) Recv() (*Frame, error) {
+	if e.rel == nil {
+		return e.recvPlain()
+	}
+	return e.recvReliable()
+}
+
+func (e *Endpoint) recvPlain() (*Frame, error) {
+	for {
+		b, err := e.Tr.Recv()
+		if err != nil {
+			return nil, err
+		}
+		f, err := Unmarshal(b)
+		if err != nil {
+			if errors.Is(err, ErrBadCRC) {
+				e.stats.CRCErrors.Add(1)
+			}
+			return nil, err
+		}
+		if f.Dst != e.Local {
+			// Not ours: real MAC endpoints drop silently.
+			e.stats.DstMismatch.Add(1)
+			continue
+		}
+		switch {
+		case f.Type == MsgNack || f.Type == MsgAck:
+			// Out-of-band frames carry no data sequence number.
+		case isCtrlStop(f):
+			// Terminal; accept at any sequence position.
+		case f.Seq == e.expect:
+			e.expect++
+		case seqBefore(f.Seq, e.expect):
+			e.stats.DupFrames.Add(1)
+			return nil, fmt.Errorf("%w: duplicate seq %d, expected %d", ErrSeqGap, f.Seq, e.expect)
+		default:
+			e.stats.SeqGaps.Add(1)
+			return nil, fmt.Errorf("%w: got seq %d, expected %d", ErrSeqGap, f.Seq, e.expect)
+		}
+		e.noteRecv(len(b))
+		return f, nil
+	}
+}
+
+func (e *Endpoint) recvReliable() (*Frame, error) {
+	retries := 0 // consecutive timeouts without any frame
+	recov := 0   // in-protocol recoveries this call
+	for {
+		if recov > maxRecoveries {
+			return nil, fmt.Errorf("%w: %d recoveries without progress", ErrLinkStalled, recov)
+		}
+		e.Tr.SetRecvDeadline(time.Now().Add(e.rel.RetryTimeout))
+		b, err := e.Tr.Recv()
+		if err != nil {
+			if errors.Is(err, ErrRecvTimeout) {
+				retries++
+				if retries > e.rel.MaxRetries {
+					return nil, fmt.Errorf("%w: no frame within %v (%d solicits)",
+						ErrLinkStalled, e.rel.RetryTimeout, retries-1)
+				}
+				e.stats.Retries.Add(1)
+				if e.rel.OnRetry != nil {
+					e.rel.OnRetry(retries)
+				}
+				// Re-solicit: asks the peer to retransmit from our expected
+				// position. If our own last frame was the one lost, the
+				// peer's symmetric timeout NACK recovers it.
+				e.sendNack(e.expect)
+				continue
+			}
+			return nil, err
+		}
+		retries = 0
+		f, err := Unmarshal(b)
+		if err != nil {
+			// Any parse failure on an established link is corruption: the
+			// frame's sequence number cannot be trusted, so solicit from
+			// the expected position.
+			recov++
+			e.stats.CRCErrors.Add(1)
+			e.sendNack(e.expect)
+			continue
+		}
+		if f.Dst != e.Local {
+			recov++
+			e.stats.DstMismatch.Add(1)
+			continue
+		}
+		if f.Type == MsgNack {
+			e.stats.NacksRecv.Add(1)
+			if err := e.resendFrom(f.Seq); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		switch {
+		case f.Seq == e.expect:
+			e.expect++
+			e.noteRecv(len(b))
+			return f, nil
+		case isCtrlStop(f):
+			e.noteRecv(len(b))
+			return f, nil
+		case seqBefore(f.Seq, e.expect):
+			// Already delivered; the duplicate is dropped. If the peer is
+			// resending because it lost our reply, its NACK (carried
+			// separately) or our next timeout solicits the heal.
+			recov++
+			e.stats.DupFrames.Add(1)
+			continue
+		default:
+			// Gap: frames between expect and f.Seq were lost. Go-back-N:
+			// drop this frame and solicit a resend from the hole.
+			recov++
+			e.stats.SeqGaps.Add(1)
+			e.sendNack(e.expect)
+			continue
+		}
+	}
+}

@@ -377,8 +377,8 @@ func TestEndpointSequenceNumbers(t *testing.T) {
 			t.Errorf("recv seq = %d, want %d", f.Seq, i)
 		}
 	}
-	if e.Sent != 3 || h.Received != 3 {
-		t.Errorf("counters: sent=%d recv=%d", e.Sent, h.Received)
+	if e.SentCount() != 3 || h.ReceivedCount() != 3 {
+		t.Errorf("counters: sent=%d recv=%d", e.SentCount(), h.ReceivedCount())
 	}
 }
 

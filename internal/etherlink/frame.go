@@ -48,6 +48,7 @@ const (
 	MsgCtrl                      // either direction: control operations
 	MsgAck                       // acknowledgement carrying the peer's last seq
 	MsgEvents                    // device -> host: exhaustive event log batch
+	MsgNack                      // either direction: resend request from Seq onward
 )
 
 // String returns the message type name.
@@ -63,6 +64,8 @@ func (t MsgType) String() string {
 		return "ack"
 	case MsgEvents:
 		return "events"
+	case MsgNack:
+		return "nack"
 	}
 	return fmt.Sprintf("msg(%d)", uint8(t))
 }

@@ -1,0 +1,286 @@
+package etherlink
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrLinkDown is returned when the supervisor exhausts its reconnection
+// budget without re-establishing the link.
+var ErrLinkDown = errors.New("etherlink: link down")
+
+// SupervisorConfig tunes the device-side connection supervisor.
+type SupervisorConfig struct {
+	// Addr is the host-side listener to (re)dial.
+	Addr string
+	// QueueDepth bounds the per-connection send queue (the device FIFO).
+	QueueDepth int
+
+	// Reconnect policy: capped exponential backoff with jitter.
+	InitialBackoff time.Duration // default 100 ms
+	MaxBackoff     time.Duration // default 5 s
+	BackoffFactor  float64       // default 2
+	Jitter         float64       // fraction of the backoff, default 0.2
+	MaxAttempts    int           // dials per reconnect cycle, default 8
+
+	// Per-connection I/O deadlines, forwarded to the TCP transport.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+
+	// GracefulStop, when set, emits a best-effort CtrlStop frame on Close
+	// so the host ends the session cleanly instead of on a read error.
+	GracefulStop bool
+
+	// Wrap, when non-nil, decorates every established transport (e.g. with
+	// a FaultTransport for soak testing).
+	Wrap func(Transport) Transport
+
+	// Stats receives reconnect accounting; nil allocates a private one.
+	Stats *LinkStats
+	// Logf, when non-nil, observes connection state changes.
+	Logf func(format string, args ...any)
+	// Seed seeds the jitter PRNG (0 uses a fixed default).
+	Seed int64
+}
+
+func (c *SupervisorConfig) fillDefaults() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.InitialBackoff <= 0 {
+		c.InitialBackoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.BackoffFactor < 1 {
+		c.BackoffFactor = 2
+	}
+	if c.Jitter < 0 || c.Jitter > 1 {
+		c.Jitter = 0.2
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.Stats == nil {
+		c.Stats = &LinkStats{}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Supervisor is a self-healing device-side Transport: it dials the host,
+// and on any I/O error tears the connection down and redials with capped
+// exponential backoff plus jitter, transparently retrying the failed
+// operation. Protocol state above the transport (sequence numbers, resend
+// windows) is NOT resumed across a reconnect — the reliable endpoint layer
+// surfaces an unhealable session as a typed error instead of hanging.
+type Supervisor struct {
+	cfg SupervisorConfig
+	rng *rand.Rand
+
+	mu       sync.Mutex
+	tr       Transport
+	deadline time.Time
+	closed   bool
+}
+
+// DialSupervised connects to the host, retrying with backoff, and returns
+// the supervising transport.
+func DialSupervised(cfg SupervisorConfig) (*Supervisor, error) {
+	cfg.fillDefaults()
+	s := &Supervisor{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.redialLocked(false); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Stats returns the supervisor's metrics aggregate (shared with the
+// transports it creates is the caller's choice via SetLinkStats).
+func (s *Supervisor) Stats() *LinkStats { return s.cfg.Stats }
+
+func (s *Supervisor) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// redialLocked establishes a fresh connection, with backoff between
+// attempts. reconnect marks a mid-session redial (counted in the stats).
+func (s *Supervisor) redialLocked(reconnect bool) error {
+	backoff := s.cfg.InitialBackoff
+	var lastErr error
+	for attempt := 1; attempt <= s.cfg.MaxAttempts; attempt++ {
+		if s.closed {
+			return ErrClosed
+		}
+		tr, err := DialWith(s.cfg.Addr, s.cfg.QueueDepth, TCPOptions{
+			ReadTimeout:  s.cfg.ReadTimeout,
+			WriteTimeout: s.cfg.WriteTimeout,
+		})
+		if err == nil {
+			if s.cfg.Wrap != nil {
+				tr = s.cfg.Wrap(tr)
+			}
+			if !s.deadline.IsZero() {
+				tr.SetRecvDeadline(s.deadline)
+			}
+			s.tr = tr
+			if reconnect {
+				s.cfg.Stats.Reconnects.Add(1)
+				s.logf("etherlink: reconnected to %s (attempt %d)", s.cfg.Addr, attempt)
+			}
+			return nil
+		}
+		lastErr = err
+		sleep := backoff
+		if s.cfg.Jitter > 0 {
+			sleep += time.Duration(s.rng.Float64() * s.cfg.Jitter * float64(backoff))
+		}
+		s.logf("etherlink: dial %s failed (attempt %d/%d): %v; retrying in %v",
+			s.cfg.Addr, attempt, s.cfg.MaxAttempts, err, sleep)
+		time.Sleep(sleep)
+		backoff = time.Duration(float64(backoff) * s.cfg.BackoffFactor)
+		if backoff > s.cfg.MaxBackoff {
+			backoff = s.cfg.MaxBackoff
+		}
+	}
+	return fmt.Errorf("%w: %s unreachable after %d attempts: %v",
+		ErrLinkDown, s.cfg.Addr, s.cfg.MaxAttempts, lastErr)
+}
+
+// current returns the live transport, if any.
+func (s *Supervisor) current() (Transport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.tr == nil {
+		if err := s.redialLocked(true); err != nil {
+			return nil, err
+		}
+	}
+	return s.tr, nil
+}
+
+// fail tears down the transport that just errored (unless another goroutine
+// already replaced it) and redials.
+func (s *Supervisor) fail(old Transport) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.tr != old {
+		return nil // already replaced
+	}
+	old.Close()
+	s.tr = nil
+	return s.redialLocked(true)
+}
+
+// retryable reports whether an op error should trigger a reconnect. A recv
+// timeout is a protocol-level event, not a link fault.
+func retryable(err error) bool {
+	return err != nil && !errors.Is(err, ErrRecvTimeout)
+}
+
+func (s *Supervisor) Send(frame []byte) error {
+	for attempt := 0; ; attempt++ {
+		tr, err := s.current()
+		if err != nil {
+			return err
+		}
+		if err = tr.Send(frame); !retryable(err) {
+			return err
+		}
+		if attempt > 0 {
+			return err
+		}
+		if rerr := s.fail(tr); rerr != nil {
+			return rerr
+		}
+	}
+}
+
+func (s *Supervisor) TrySend(frame []byte) (bool, error) {
+	for attempt := 0; ; attempt++ {
+		tr, err := s.current()
+		if err != nil {
+			return false, err
+		}
+		ok, err := tr.TrySend(frame)
+		if !retryable(err) {
+			return ok, err
+		}
+		if attempt > 0 {
+			return false, err
+		}
+		if rerr := s.fail(tr); rerr != nil {
+			return false, rerr
+		}
+	}
+}
+
+func (s *Supervisor) Recv() ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		tr, err := s.current()
+		if err != nil {
+			return nil, err
+		}
+		b, err := tr.Recv()
+		if !retryable(err) {
+			return b, err
+		}
+		if attempt > 0 {
+			return nil, err
+		}
+		if rerr := s.fail(tr); rerr != nil {
+			return nil, rerr
+		}
+	}
+}
+
+func (s *Supervisor) SetRecvDeadline(t time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deadline = t
+	if s.tr != nil {
+		return s.tr.SetRecvDeadline(t)
+	}
+	return nil
+}
+
+// Close shuts the supervisor down. With GracefulStop set it first emits a
+// best-effort CtrlStop frame (stamped with the out-of-band terminal
+// sequence number) so the host ends the session cleanly.
+func (s *Supervisor) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	tr := s.tr
+	s.tr = nil
+	s.mu.Unlock()
+	if tr == nil {
+		return nil
+	}
+	if s.cfg.GracefulStop {
+		f := &Frame{Dst: HostMAC, Src: DeviceMAC, Type: MsgCtrl, Seq: ctrlStopSeq,
+			Payload: (&Ctrl{Op: CtrlStop}).MarshalPayload()}
+		if b, err := f.Marshal(); err == nil {
+			tr.TrySend(b)
+		}
+	}
+	return tr.Close()
+}

@@ -7,21 +7,35 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Transport moves serialised frames between the device and the host.
 // Send blocks until the frame is accepted; TrySend never blocks and reports
 // whether the frame was accepted — the dispatcher uses it to detect link
 // congestion and freeze the virtual clock instead of dropping statistics.
+// SetRecvDeadline bounds the next Recv calls (the zero time clears the
+// bound); an expired deadline surfaces as ErrRecvTimeout, which is the only
+// Recv error a caller may retry without reconnecting.
 type Transport interface {
 	Send(frame []byte) error
 	TrySend(frame []byte) (bool, error)
 	Recv() ([]byte, error) // blocks; returns io.EOF after Close
+	SetRecvDeadline(t time.Time) error
 	Close() error
 }
 
-// ErrClosed is returned by operations on a closed transport.
-var ErrClosed = errors.New("etherlink: transport closed")
+// Errors of the transport layer.
+var (
+	// ErrClosed is returned by operations on a closed transport.
+	ErrClosed = errors.New("etherlink: transport closed")
+	// ErrRecvTimeout marks a Recv that expired its deadline without
+	// consuming any bytes; the link is intact and the call may be retried.
+	ErrRecvTimeout = errors.New("etherlink: recv timeout")
+	// ErrDesync marks a Recv deadline that expired mid-frame: the byte
+	// stream position is lost and the connection must be re-established.
+	ErrDesync = errors.New("etherlink: stream desynchronised mid-frame")
+)
 
 // loopback is one endpoint of an in-process transport pair.
 type loopback struct {
@@ -29,6 +43,9 @@ type loopback struct {
 	in   chan []byte
 	once *sync.Once
 	done chan struct{}
+
+	mu       sync.Mutex
+	deadline time.Time
 }
 
 // LoopbackPair creates two connected in-process transports whose link can
@@ -73,7 +90,23 @@ func (l *loopback) TrySend(frame []byte) (bool, error) {
 	}
 }
 
+func (l *loopback) SetRecvDeadline(t time.Time) error {
+	l.mu.Lock()
+	l.deadline = t
+	l.mu.Unlock()
+	return nil
+}
+
 func (l *loopback) Recv() ([]byte, error) {
+	l.mu.Lock()
+	deadline := l.deadline
+	l.mu.Unlock()
+	var expired <-chan time.Time
+	if !deadline.IsZero() {
+		timer := time.NewTimer(time.Until(deadline))
+		defer timer.Stop()
+		expired = timer.C
+	}
 	select {
 	case f := <-l.in:
 		return f, nil
@@ -85,6 +118,14 @@ func (l *loopback) Recv() ([]byte, error) {
 		default:
 			return nil, io.EOF
 		}
+	case <-expired:
+		// A frame may have raced the timer; prefer it.
+		select {
+		case f := <-l.in:
+			return f, nil
+		default:
+			return nil, ErrRecvTimeout
+		}
 	}
 }
 
@@ -93,23 +134,53 @@ func (l *loopback) Close() error {
 	return nil
 }
 
+// TCPOptions tunes a TCP transport.
+type TCPOptions struct {
+	// WriteTimeout bounds each frame write; 0 means no bound. A write that
+	// exceeds it kills the writer goroutine and fails subsequent sends.
+	WriteTimeout time.Duration
+	// ReadTimeout is the default Recv bound applied when the caller has not
+	// set an explicit deadline; 0 means block forever.
+	ReadTimeout time.Duration
+}
+
 // tcpTransport carries frames over a net.Conn, length-prefixed with a
 // 32-bit little-endian size. A writer goroutine provides the non-blocking
 // TrySend queue.
 type tcpTransport struct {
-	conn    net.Conn
-	sendCh  chan []byte
-	done    chan struct{}
-	once    sync.Once
-	wg      sync.WaitGroup
-	writeMu sync.Mutex
-	werr    error
+	conn   net.Conn
+	opts   TCPOptions
+	sendCh chan []byte
+	done   chan struct{}
+	// writerDone is closed when the writer goroutine exits — on a write
+	// error or after the Close flush. Send/TrySend select on it so a send
+	// racing the writer's death fails instead of parking on a channel
+	// nobody drains.
+	writerDone chan struct{}
+	once       sync.Once
+	wg         sync.WaitGroup
+	writeMu    sync.Mutex
+	werr       error
+
+	recvMu   sync.Mutex
+	deadline time.Time
 }
 
 // NewTCP wraps an established connection (either side) into a Transport.
 // queueDepth bounds the send queue, modelling the device FIFO.
 func NewTCP(conn net.Conn, queueDepth int) Transport {
-	t := &tcpTransport{conn: conn, sendCh: make(chan []byte, queueDepth), done: make(chan struct{})}
+	return NewTCPWith(conn, queueDepth, TCPOptions{})
+}
+
+// NewTCPWith is NewTCP with explicit read/write deadline options.
+func NewTCPWith(conn net.Conn, queueDepth int, opts TCPOptions) Transport {
+	t := &tcpTransport{
+		conn:       conn,
+		opts:       opts,
+		sendCh:     make(chan []byte, queueDepth),
+		done:       make(chan struct{}),
+		writerDone: make(chan struct{}),
+	}
 	t.wg.Add(1)
 	go t.writer()
 	return t
@@ -117,24 +188,26 @@ func NewTCP(conn net.Conn, queueDepth int) Transport {
 
 // Dial connects to a host-side listener and returns the device transport.
 func Dial(addr string, queueDepth int) (Transport, error) {
+	return DialWith(addr, queueDepth, TCPOptions{})
+}
+
+// DialWith is Dial with explicit read/write deadline options.
+func DialWith(addr string, queueDepth int, opts TCPOptions) (Transport, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("etherlink: dial %s: %w", addr, err)
 	}
-	return NewTCP(conn, queueDepth), nil
+	return NewTCPWith(conn, queueDepth, opts), nil
 }
 
 func (t *tcpTransport) writer() {
 	defer t.wg.Done()
+	defer close(t.writerDone)
 	for {
 		select {
 		case f := <-t.sendCh:
 			if err := t.writeFrame(f); err != nil {
-				t.writeMu.Lock()
-				if t.werr == nil {
-					t.werr = err
-				}
-				t.writeMu.Unlock()
+				t.setWriteErr(err)
 				return
 			}
 		case <-t.done:
@@ -142,7 +215,8 @@ func (t *tcpTransport) writer() {
 			for {
 				select {
 				case f := <-t.sendCh:
-					if t.writeFrame(f) != nil {
+					if err := t.writeFrame(f); err != nil {
+						t.setWriteErr(err)
 						return
 					}
 				default:
@@ -154,13 +228,24 @@ func (t *tcpTransport) writer() {
 }
 
 func (t *tcpTransport) writeFrame(f []byte) error {
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(f)))
-	if _, err := t.conn.Write(hdr[:]); err != nil {
-		return err
+	if t.opts.WriteTimeout > 0 {
+		t.conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
 	}
-	_, err := t.conn.Write(f)
+	// One write per frame: the length prefix and payload never straddle a
+	// writer-side gap the reader's deadline could expire inside.
+	buf := make([]byte, 4+len(f))
+	binary.LittleEndian.PutUint32(buf, uint32(len(f)))
+	copy(buf[4:], f)
+	_, err := t.conn.Write(buf)
 	return err
+}
+
+func (t *tcpTransport) setWriteErr(err error) {
+	t.writeMu.Lock()
+	if t.werr == nil {
+		t.werr = err
+	}
+	t.writeMu.Unlock()
 }
 
 func (t *tcpTransport) sendErr() error {
@@ -169,14 +254,32 @@ func (t *tcpTransport) sendErr() error {
 	return t.werr
 }
 
+// deadErr reports why the writer is gone: the stored write error, or
+// ErrClosed after a clean shutdown.
+func (t *tcpTransport) deadErr() error {
+	if err := t.sendErr(); err != nil {
+		return fmt.Errorf("etherlink: send after writer death: %w", err)
+	}
+	return ErrClosed
+}
+
 func (t *tcpTransport) Send(frame []byte) error {
 	if err := t.sendErr(); err != nil {
-		return err
+		return fmt.Errorf("etherlink: send after writer death: %w", err)
 	}
 	f := append([]byte(nil), frame...)
 	select {
 	case t.sendCh <- f:
-		return nil
+		// The enqueue may have raced the writer's death; a frame parked
+		// behind a dead writer would otherwise be dropped silently.
+		select {
+		case <-t.writerDone:
+			return t.deadErr()
+		default:
+			return nil
+		}
+	case <-t.writerDone:
+		return t.deadErr()
 	case <-t.done:
 		return ErrClosed
 	}
@@ -184,93 +287,114 @@ func (t *tcpTransport) Send(frame []byte) error {
 
 func (t *tcpTransport) TrySend(frame []byte) (bool, error) {
 	if err := t.sendErr(); err != nil {
-		return false, err
+		return false, fmt.Errorf("etherlink: send after writer death: %w", err)
 	}
 	select {
 	case <-t.done:
 		return false, ErrClosed
+	case <-t.writerDone:
+		return false, t.deadErr()
 	default:
 	}
 	f := append([]byte(nil), frame...)
 	select {
 	case t.sendCh <- f:
-		return true, nil
+		select {
+		case <-t.writerDone:
+			return false, t.deadErr()
+		default:
+			return true, nil
+		}
 	default:
 		return false, nil
 	}
 }
 
+func (t *tcpTransport) SetRecvDeadline(d time.Time) error {
+	t.recvMu.Lock()
+	t.deadline = d
+	t.recvMu.Unlock()
+	return nil
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// recvGrace bounds the rest of a frame once its first bytes have arrived:
+// the peer is committed mid-frame, so an expiring solicit deadline must not
+// desynchronise the stream — only a genuinely stalled peer should.
+const recvGrace = time.Second
+
 func (t *tcpTransport) Recv() ([]byte, error) {
+	t.recvMu.Lock()
+	deadline := t.deadline
+	t.recvMu.Unlock()
+	if deadline.IsZero() && t.opts.ReadTimeout > 0 {
+		deadline = time.Now().Add(t.opts.ReadTimeout)
+	}
+	t.conn.SetReadDeadline(deadline)
 	var hdr [4]byte
-	if _, err := io.ReadFull(t.conn, hdr[:]); err != nil {
-		return nil, err
+	if n, err := io.ReadFull(t.conn, hdr[:]); err != nil {
+		if !isTimeout(err) {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("%w: %v", ErrRecvTimeout, err)
+		}
+		t.conn.SetReadDeadline(time.Now().Add(recvGrace))
+		if m, err := io.ReadFull(t.conn, hdr[n:]); err != nil {
+			if isTimeout(err) {
+				return nil, fmt.Errorf("%w: %d header bytes read", ErrDesync, n+m)
+			}
+			return nil, err
+		}
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	if n > headerLen+MaxPayload+crcLen {
 		return nil, fmt.Errorf("etherlink: oversized frame (%d bytes)", n)
 	}
 	f := make([]byte, n)
-	if _, err := io.ReadFull(t.conn, f); err != nil {
+	t.conn.SetReadDeadline(time.Now().Add(recvGrace))
+	if m, err := io.ReadFull(t.conn, f); err != nil {
+		if isTimeout(err) {
+			return nil, fmt.Errorf("%w: %d of %d payload bytes read", ErrDesync, m, n)
+		}
 		return nil, err
 	}
 	return f, nil
 }
 
+// Close shuts the transport down: the writer flushes what it can, and any
+// frames stranded in the queue (the writer died on a write error first) are
+// reported, wrapped around the write error that killed it.
 func (t *tcpTransport) Close() error {
 	t.once.Do(func() { close(t.done) })
+	// Bound the writer's flush: a peer that stopped draining would block
+	// the final writes forever, wedging Close behind the wg.Wait. The
+	// deadline also unblocks a write already in flight.
+	grace := t.opts.WriteTimeout
+	if grace <= 0 {
+		grace = time.Second
+	}
+	t.conn.SetWriteDeadline(time.Now().Add(grace))
 	t.wg.Wait()
-	return t.conn.Close()
-}
-
-// Endpoint is a typed convenience wrapper over a Transport: it stamps
-// addresses and sequence numbers on the way out and parses frames on the
-// way in.
-type Endpoint struct {
-	Tr       Transport
-	Local    MAC
-	Remote   MAC
-	seq      uint32
-	Received uint64
-	Sent     uint64
-}
-
-// NewEndpoint builds an endpoint with the given addresses.
-func NewEndpoint(tr Transport, local, remote MAC) *Endpoint {
-	return &Endpoint{Tr: tr, Local: local, Remote: remote}
-}
-
-// NextSeq returns the sequence number the next sent frame will carry.
-func (e *Endpoint) NextSeq() uint32 { return e.seq }
-
-func (e *Endpoint) frame(typ MsgType, payload []byte) *Frame {
-	f := &Frame{Dst: e.Remote, Src: e.Local, Type: typ, Seq: e.seq, Payload: payload}
-	e.seq++
-	return f
-}
-
-// Send marshals and transmits a typed message, blocking until accepted.
-func (e *Endpoint) Send(typ MsgType, payload []byte) error {
-	b, err := e.frame(typ, payload).Marshal()
-	if err != nil {
-		return err
+	cerr := t.conn.Close()
+	stranded := 0
+	for {
+		select {
+		case <-t.sendCh:
+			stranded++
+		default:
+			if stranded > 0 {
+				werr := t.sendErr()
+				if werr == nil {
+					werr = ErrClosed
+				}
+				return fmt.Errorf("etherlink: %d queued frames undelivered: %w", stranded, werr)
+			}
+			return cerr
+		}
 	}
-	if err := e.Tr.Send(b); err != nil {
-		return err
-	}
-	e.Sent++
-	return nil
-}
-
-// Recv receives and parses the next frame.
-func (e *Endpoint) Recv() (*Frame, error) {
-	b, err := e.Tr.Recv()
-	if err != nil {
-		return nil, err
-	}
-	f, err := Unmarshal(b)
-	if err != nil {
-		return nil, err
-	}
-	e.Received++
-	return f, nil
 }

@@ -55,6 +55,10 @@ type VPCM struct {
 	// the physical frequency plus suppression and freeze periods.
 	wallPs   uint64
 	frozenPs uint64
+	// freezeMu guards the per-source frozen-time attribution: the link
+	// layer may account resend stalls while observers read the totals.
+	freezeMu    sync.Mutex
+	frozenBySrc map[string]uint64
 }
 
 // New creates a VPCM with the given physical oscillator frequency and the
@@ -107,7 +111,11 @@ func (v *VPCM) Time() float64 { return float64(v.timePs) * 1e-12 }
 // virtual cycles clocked at the physical frequency plus every suppression
 // and freeze period. This models what a wall clock next to the FPGA would
 // measure.
-func (v *VPCM) WallPs() uint64 { return v.wallPs + v.frozenPs }
+func (v *VPCM) WallPs() uint64 {
+	v.freezeMu.Lock()
+	defer v.freezeMu.Unlock()
+	return v.wallPs + v.frozenPs
+}
 
 // Advance clocks the virtual platform by n cycles at the current virtual
 // frequency. The caller must not advance while frozen.
@@ -179,7 +187,52 @@ func (v *VPCM) FrozenBy() string {
 // AddFrozenTime accounts physical time spent with the virtual clock frozen
 // (reported by whoever held the freeze, in physical cycles).
 func (v *VPCM) AddFrozenTime(physCycles uint64) {
-	v.frozenPs += physCycles * (picosPerSec / v.physHz)
+	v.AddFrozenTimeSource("", physCycles)
+}
+
+// AddFrozenTimeSource is AddFrozenTime with the frozen period attributed to
+// a named source (e.g. "ethernet" for congestion, "ethernet-resend" for
+// link-loss recovery), so observability can split the stall budget.
+func (v *VPCM) AddFrozenTimeSource(source string, physCycles uint64) {
+	ps := physCycles * (picosPerSec / v.physHz)
+	v.freezeMu.Lock()
+	v.frozenPs += ps
+	if source != "" {
+		if v.frozenBySrc == nil {
+			v.frozenBySrc = make(map[string]uint64)
+		}
+		v.frozenBySrc[source] += ps
+	}
+	v.freezeMu.Unlock()
+}
+
+// FrozenPs returns the total physical picoseconds spent frozen.
+func (v *VPCM) FrozenPs() uint64 {
+	v.freezeMu.Lock()
+	defer v.freezeMu.Unlock()
+	return v.frozenPs
+}
+
+// FrozenPsBySource returns per-source frozen physical picoseconds, sorted
+// by source name.
+func (v *VPCM) FrozenPsBySource() []struct {
+	Source string
+	Ps     uint64
+} {
+	v.freezeMu.Lock()
+	defer v.freezeMu.Unlock()
+	out := make([]struct {
+		Source string
+		Ps     uint64
+	}, 0, len(v.frozenBySrc))
+	for s, ps := range v.frozenBySrc {
+		out = append(out, struct {
+			Source string
+			Ps     uint64
+		}{s, ps})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	return out
 }
 
 // SpeedRatio returns virtual frequency over physical frequency: how much

@@ -159,6 +159,34 @@ func TestTimeMonotoneQuick(t *testing.T) {
 	}
 }
 
+func TestFrozenTimeBySource(t *testing.T) {
+	v := New(100e6, 100e6)
+	v.AddFrozenTimeSource("ethernet", 100)
+	v.AddFrozenTimeSource("ethernet-resend", 50)
+	v.AddFrozenTimeSource("ethernet", 25)
+	v.AddFrozenTime(10) // unattributed: total only
+	if got := v.FrozenPs(); got != 185*10_000 {
+		t.Errorf("frozen total = %d ps, want %d", got, 185*10_000)
+	}
+	by := v.FrozenPsBySource()
+	if len(by) != 2 {
+		t.Fatalf("frozen by source = %+v", by)
+	}
+	if by[0].Source != "ethernet" || by[0].Ps != 125*10_000 {
+		t.Errorf("ethernet = %+v", by[0])
+	}
+	if by[1].Source != "ethernet-resend" || by[1].Ps != 50*10_000 {
+		t.Errorf("ethernet-resend = %+v", by[1])
+	}
+	// Frozen time counts as wall time, not virtual time.
+	if v.TimePs() != 0 {
+		t.Error("frozen time advanced virtual time")
+	}
+	if v.WallPs() != 185*10_000 {
+		t.Errorf("wall = %d", v.WallPs())
+	}
+}
+
 func TestStringSummary(t *testing.T) {
 	v := New(100e6, 500e6)
 	if s := v.String(); !strings.Contains(s, "500000000") {

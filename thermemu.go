@@ -63,6 +63,20 @@ type (
 	// ThermalOptions configures the RC thermal model (mesh depth, material
 	// properties, and the Workers solver-sharding knob).
 	ThermalOptions = thermal.Options
+	// LinkStats aggregates atomic link-layer counters (shareable across
+	// endpoints); LinkSnapshot is its JSON-encodable point-in-time copy.
+	LinkStats    = etherlink.LinkStats
+	LinkSnapshot = etherlink.LinkSnapshot
+	// LinkFaultConfig describes per-direction link impairments (drops,
+	// duplicates, reordering, corruption, latency, mid-stream cuts).
+	LinkFaultConfig = etherlink.FaultConfig
+	// LinkReliability tunes the NACK/resend-window loss-recovery protocol.
+	LinkReliability = etherlink.ReliableConfig
+	// LinkSupervisorConfig tunes the device-side reconnecting transport.
+	LinkSupervisorConfig = etherlink.SupervisorConfig
+	// ServeOptions tunes one ThermalHost.Serve session (shared metrics,
+	// idle budget, reliability).
+	ServeOptions = core.ServeOptions
 )
 
 // ErrNoConvergence is the sentinel wrapped by SteadyState errors when the
@@ -274,4 +288,24 @@ func DialThermalHost(addr string) (Transport, error) {
 // whose FIFO holds depth frames per direction.
 func LoopbackLink(depth int) (device, host Transport) {
 	return etherlink.LoopbackPair(depth)
+}
+
+// DialThermalHostSupervised is DialThermalHost with a connection
+// supervisor: link faults trigger reconnection with capped exponential
+// backoff plus jitter, and Close emits a graceful CtrlStop.
+func DialThermalHostSupervised(cfg LinkSupervisorConfig) (Transport, error) {
+	cfg.GracefulStop = true
+	return etherlink.DialSupervised(cfg)
+}
+
+// WithLinkFaults wraps a transport with seeded per-direction fault
+// injection, for testing protocol invariants under loss.
+func WithLinkFaults(tr Transport, seed int64, send, recv LinkFaultConfig) Transport {
+	return etherlink.NewFaultTransport(tr, seed, send, recv)
+}
+
+// ParseLinkFaultSpec parses a comma-separated impairment spec such as
+// "drop=0.01,dup=0.005,delay=2ms" into a LinkFaultConfig.
+func ParseLinkFaultSpec(spec string) (LinkFaultConfig, error) {
+	return etherlink.ParseFaultSpec(spec)
 }
