@@ -48,13 +48,14 @@ func main() {
 		faultSeed = flag.Int64("fault-seed", 1, "PRNG seed for -fault")
 		redial    = flag.Bool("redial", false, "supervise the host connection: reconnect with capped exponential backoff on link faults")
 		report   = flag.Bool("report", false, "print the detailed platform statistics report")
+		digest   = flag.Bool("digest", false, "accumulate and print the run's golden conformance digest")
 		vcdPath  = flag.String("vcd", "", "write the run as a VCD waveform to this path")
 		jsonPath = flag.String("json", "", "write the run's samples as JSON to this path")
 	)
 	flag.Parse()
 	if err := run(*cores, *workload, *n, *iters, *size, *ic, *nocSpec, *freqMHz, *withTM,
 		*windowMs, *tscale, *cells, *workers, *csvPath, *hostAddr, *fault, *faultSeed,
-		*redial, *report, *vcdPath, *jsonPath); err != nil {
+		*redial, *report, *digest, *vcdPath, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "thermemu:", err)
 		os.Exit(1)
 	}
@@ -62,7 +63,7 @@ func main() {
 
 func run(cores int, workload string, n, iters, size int, ic, nocSpec string, freqMHz int,
 	withTM bool, windowMs, tscale float64, cells, workers int, csvPath, hostAddr, fault string,
-	faultSeed int64, redial, report bool, vcdPath, jsonPath string) error {
+	faultSeed int64, redial, report, digest bool, vcdPath, jsonPath string) error {
 	pcfg := thermemu.DefaultPlatform(cores)
 	switch ic {
 	case "opb":
@@ -122,6 +123,9 @@ func run(cores int, workload string, n, iters, size int, ic, nocSpec string, fre
 	}
 	if withTM {
 		cfg.Policy = tm.NewThresholdDFS()
+	}
+	if digest {
+		cfg.Golden = thermemu.NewGoldenTrace()
 	}
 	if hostAddr != "" {
 		fcfg, err := etherlink.ParseFaultSpec(fault)
@@ -191,6 +195,11 @@ func run(cores int, workload string, n, iters, size int, ic, nocSpec string, fre
 	fmt.Printf("samples:        %d (window %.2f ms)\n", len(res.Samples), windowMs)
 	fmt.Printf("max temp:       %.2f K\n", res.MaxTempK)
 	fmt.Printf("DFS events:     %d\n", res.DFSEvents)
+	if digest {
+		// The digest pins the whole run: identical flags must reproduce it
+		// bit for bit (serial or parallel platform alike).
+		fmt.Printf("golden digest:  %s over %d records\n", cfg.Golden.Hex(), cfg.Golden.Len())
+	}
 	if hostAddr != "" {
 		fmt.Printf("link stats:     %d stats frames, %d temps frames, %d congestions, %d retries\n",
 			res.Congestion.StatsSent, res.Congestion.TempsRecv, res.Congestion.Congestions,

@@ -6,6 +6,7 @@ import (
 
 	"thermemu/internal/emu"
 	"thermemu/internal/etherlink"
+	"thermemu/internal/golden"
 	"thermemu/internal/power"
 	"thermemu/internal/thermal"
 	"thermemu/internal/tm"
@@ -54,6 +55,11 @@ type Config struct {
 	// trajectory so short emulations exhibit the same heating/TM dynamics.
 	// It affects only the thermal axis, never the cycle-accurate platform.
 	ThermalTimeScale float64
+	// Golden, when non-nil, accumulates a conformance digest of the run:
+	// every sampling window's statistics snapshot plus the platform's full
+	// architectural state at run end (see internal/golden). Two runs with
+	// equal digests executed the same emulation bit for bit.
+	Golden *golden.Trace
 }
 
 // Sample is one closed-loop observation: the end of one sampling window.
@@ -189,11 +195,20 @@ func Run(cfg Config, onSample func(Sample)) (*Result, error) {
 		if left := maxCycles - p.VPCM.Cycle(); n > left {
 			n = left
 		}
-		p.Step(n)
+		// With a Parallel platform the window is executed by the
+		// deterministic parallel kernel; results are bit-identical to
+		// serial stepping (asserted by the golden conformance suite), so
+		// the whole closed loop — power, temperature, DFS — is unchanged.
+		if cfg.Platform.Parallel {
+			p.RunParallel(0, p.VPCM.Cycle()+n)
+		} else {
+			p.Step(n)
+		}
 		if err := p.Fault(); err != nil {
 			return nil, err
 		}
 		snap := p.Snapshot()
+		emu.DigestSnapshot(cfg.Golden, snap)
 		if disp != nil && cfg.Platform.EventLogging {
 			if _, err := disp.PumpEvents(p.Ring); err != nil {
 				return nil, err
@@ -278,6 +293,7 @@ func Run(cfg Config, onSample func(Sample)) (*Result, error) {
 		res.Congestion = disp.Stats()
 		res.Link = disp.Link().Snapshot()
 	}
+	p.DigestInto(cfg.Golden)
 	res.Cycles = p.VPCM.Cycle()
 	res.VirtualS = p.VPCM.Time()
 	res.Wall = time.Since(start)

@@ -215,6 +215,18 @@ func (c *Core) Reset(entry uint32) {
 	c.stats = Stats{}
 }
 
+// AccrueIdle charges n idle cycles to a halted core without stepping it.
+// The parallel kernel uses it to batch the idle time of cores that halted
+// before the end of a chunk, so their statistics match cycle-by-cycle serial
+// stepping. n == 0 leaves the core's observed state untouched.
+func (c *Core) AccrueIdle(n uint64) {
+	if n == 0 {
+		return
+	}
+	c.state = Idle
+	c.stats.IdleCycles += n
+}
+
 // Step advances the core by one clock cycle at platform cycle now.
 func (c *Core) Step(now uint64) {
 	if c.Halted() {

@@ -1,0 +1,76 @@
+package emu_test
+
+// Kernel throughput baseline: emulated cycles per host second for the
+// serial and the deterministic parallel kernel on the Table 3 matrix
+// workload. CI records the output as BENCH_emu.json so future kernel PRs
+// can prove they changed nothing but speed (their golden digests must not
+// move; these numbers should).
+
+import (
+	"fmt"
+	"testing"
+
+	"thermemu/internal/emu"
+	"thermemu/internal/workloads"
+)
+
+const benchMaxCycles = 50_000_000
+
+func benchPlatform(b *testing.B, cores int, parallel bool) (*emu.Platform, *workloads.Spec) {
+	b.Helper()
+	spec, err := workloads.Matrix(cores, 16, 8, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := emu.DefaultConfig(cores)
+	cfg.Parallel = parallel
+	p := emu.MustNew(cfg)
+	for i, im := range spec.Programs {
+		if err := p.LoadProgram(i, im); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, blk := range spec.Shared {
+		p.WriteShared(blk.Addr, blk.Data)
+	}
+	return p, spec
+}
+
+func benchKernel(b *testing.B, cores int, parallel bool) {
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p, spec := benchPlatform(b, cores, parallel)
+		b.StartTimer()
+		var (
+			cyc  uint64
+			done bool
+		)
+		if parallel {
+			cyc, done = p.RunParallel(emu.DefaultChunk, benchMaxCycles)
+		} else {
+			cyc, done = p.Run(benchMaxCycles)
+		}
+		if !done {
+			b.Fatalf("workload %s did not finish", spec.Name)
+		}
+		cycles += cyc
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+func BenchmarkRunSerial(b *testing.B) {
+	for _, cores := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
+			benchKernel(b, cores, false)
+		})
+	}
+}
+
+func BenchmarkRunParallel(b *testing.B) {
+	for _, cores := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
+			benchKernel(b, cores, true)
+		})
+	}
+}

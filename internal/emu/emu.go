@@ -14,7 +14,6 @@ package emu
 
 import (
 	"fmt"
-	"sync"
 
 	"thermemu/internal/asm"
 	"thermemu/internal/bus"
@@ -131,14 +130,19 @@ type Config struct {
 	EventLogging bool // attach event-logging sniffers to the controllers
 	EventBufCap  int  // BRAM ring capacity (events)
 
-	// Parallel builds the platform for chunk-synchronised multi-threaded
-	// stepping (RunParallel): per-core resources stay lock-free and the
-	// shared memory path, interconnect and devices are serialised by a
-	// mutex. This is the software analogue of the FPGA's spatial
-	// parallelism — on a multi-core host the emulator's wall time stays
-	// nearly flat as emulated cores are added, like the paper's hardware.
-	// Interleaving of shared accesses (and hence contention timing) is not
-	// bit-reproducible run to run; functional results remain exact.
+	// Parallel builds the platform for deterministic multi-threaded
+	// stepping (RunParallel): within each chunk the cores free-run
+	// concurrently on private state, and every shared-resource access
+	// (shared memory, interconnect, barrier, sniffer control) is committed
+	// by a single arbiter in (cycle, coreID) order — exactly the serial
+	// kernel's interleaving. This is the software analogue of the FPGA's
+	// spatial parallelism — on a multi-core host the emulator's wall time
+	// stays nearly flat as emulated cores are added, like the paper's
+	// hardware — and it is deterministic by construction: RunParallel
+	// produces bit-identical architectural state, cycle counts and
+	// statistics to the serial Run, at any chunk size, run after run (the
+	// golden-trace conformance suite asserts this). Serial stepping of a
+	// Parallel-built platform also works and behaves identically.
 	// Incompatible with EventLogging.
 	Parallel bool
 }
@@ -235,7 +239,7 @@ type Platform struct {
 	// the ring (e.g. pump the Ethernet dispatcher) and report success.
 	OnBufferFull func() bool
 
-	shMu sync.Mutex // serialises the shared path in parallel mode
+	sched *scheduler // shared-path arbiter, built only with Config.Parallel
 }
 
 // New builds a platform from cfg.
@@ -247,6 +251,9 @@ func New(cfg Config) (*Platform, error) {
 		Cfg:  cfg,
 		VPCM: vpcm.New(cfg.PhysHz, cfg.FreqHz),
 		Hub:  sniffer.NewHub(),
+	}
+	if cfg.Parallel {
+		p.sched = newScheduler(cfg.Cores)
 	}
 	cap := cfg.EventBufCap
 	if cap <= 0 {
@@ -308,9 +315,10 @@ func New(cfg Config) (*Platform, error) {
 		var barrier mem.Target = p.Barrier
 		var sniffctl mem.Target = mem.NewRegDevice("sniffctl", 64, 1, p.Hub.CtrlLoad, p.Hub.CtrlStore)
 		if cfg.Parallel {
-			shared = &mem.Locked{Mu: &p.shMu, Under: shared}
-			barrier = &mem.Locked{Mu: &p.shMu, Under: barrier}
-			sniffctl = &mem.Locked{Mu: &p.shMu, Under: sniffctl}
+			g := p.sched.gates[i]
+			shared = &gated{gate: g, under: shared}
+			barrier = &gated{gate: g, under: barrier}
+			sniffctl = &gated{gate: g, under: sniffctl}
 		}
 		if err := ctl.AddRange(mem.Range{Name: "shared", Base: SharedBase, Target: shared,
 			Cacheable: cfg.SharedCacheable, Kind: mem.KindShared}); err != nil {
@@ -541,11 +549,16 @@ func (p *Platform) TotalInstructions() uint64 {
 const DefaultChunk = 1024
 
 // RunParallel executes until every core halts or maxCycles elapse, stepping
-// the cores on concurrent goroutines in chunks of the given size (0 uses
-// DefaultChunk). The platform must have been built with Config.Parallel.
-// Within a chunk the cores run free; shared-path accesses are serialised by
-// the platform mutex, so functional results are exact while contention
-// timing is resolved in host-arrival order rather than strict cycle order.
+// the cores on concurrent goroutines in deterministic epochs of the given
+// chunk size (0 uses DefaultChunk). The platform must have been built with
+// Config.Parallel.
+//
+// Within a chunk the cores free-run on private state with no
+// synchronisation; each shared-resource access parks its core until a
+// single arbiter commits it in (cycle, coreID) order — the serial kernel's
+// exact interleaving (see sched.go). RunParallel is therefore bit-identical
+// to Run: same final cycle, same architectural state, same statistics, at
+// any chunk size, run after run.
 func (p *Platform) RunParallel(chunk uint64, maxCycles uint64) (uint64, bool) {
 	if !p.Cfg.Parallel {
 		panic("emu: RunParallel on a platform built without Config.Parallel")
@@ -558,19 +571,8 @@ func (p *Platform) RunParallel(chunk uint64, maxCycles uint64) (uint64, bool) {
 		if left := maxCycles - p.VPCM.Cycle(); n > left {
 			n = left
 		}
-		base := p.VPCM.Cycle()
-		var wg sync.WaitGroup
-		for _, c := range p.Cores {
-			wg.Add(1)
-			go func(c *cpu.Core) {
-				defer wg.Done()
-				for i := uint64(0); i < n; i++ {
-					c.Step(base + i)
-				}
-			}(c)
-		}
-		wg.Wait()
-		p.VPCM.Advance(n)
+		adv := p.runChunk(p.VPCM.Cycle(), n)
+		p.VPCM.Advance(adv)
 	}
 	return p.VPCM.Cycle(), p.AllHalted()
 }

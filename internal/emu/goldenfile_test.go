@@ -1,0 +1,125 @@
+package emu_test
+
+// Cross-PR golden-file regression suite: the digests of the Table 3
+// benchmark programs and the Figure 6 thermal run are committed under
+// testdata/golden/; any behavioural drift in the emulator — one extra stall
+// cycle, one different cache miss — fails CI loudly. Regenerate after an
+// intentional timing-model change with:
+//
+//	go test ./internal/emu/ -run TestGoldenFiles -update
+//
+// Each case is digested twice, by the serial kernel and by the parallel
+// kernel, and both must match the committed file.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"thermemu/internal/emu"
+	"thermemu/internal/golden"
+	"thermemu/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden digest files")
+
+type goldenCase struct {
+	name string
+	cfg  func() emu.Config
+	spec func() (*workloads.Spec, error)
+}
+
+func goldenCases() []goldenCase {
+	table3 := func(noc bool) emu.Config {
+		cfg := emu.DefaultConfig(4)
+		cfg.CoreKinds = emu.Table3Cores(4)
+		cfg.Parallel = true
+		if noc {
+			cfg.IC = emu.ICNoC
+			cfg.NoC = emu.Table3NoC(4)
+		}
+		return cfg
+	}
+	fig6 := func() emu.Config {
+		cfg := emu.Fig6Config()
+		cfg.Parallel = true
+		return cfg
+	}
+	return []goldenCase{
+		{"table3-matrix-bus", func() emu.Config { return table3(false) },
+			func() (*workloads.Spec, error) { return workloads.Matrix(4, 8, 2, 64) }},
+		{"table3-matrix-noc", func() emu.Config { return table3(true) },
+			func() (*workloads.Spec, error) { return workloads.Matrix(4, 8, 2, 64) }},
+		{"table3-dithering-bus", func() emu.Config { return table3(false) },
+			func() (*workloads.Spec, error) { return workloads.Dithering(4, 16) }},
+		{"table3-dithering-noc", func() emu.Config { return table3(true) },
+			func() (*workloads.Spec, error) { return workloads.Dithering(4, 16) }},
+		{"table3-locks-bus", func() emu.Config { return table3(false) },
+			func() (*workloads.Spec, error) { return workloads.Locks(4, 16) }},
+		{"fig6-matrixtm-noc", fig6,
+			func() (*workloads.Spec, error) { return workloads.MatrixTM(4, 8, 4, 32) }},
+	}
+}
+
+func goldenDigest(t *testing.T, gc goldenCase, parallel bool) *golden.Trace {
+	t.Helper()
+	spec, err := gc.spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := emu.MustNew(gc.cfg())
+	loadSpec(t, p, spec)
+	tr := golden.New()
+	var done bool
+	if parallel {
+		_, done = p.RunParallelDigest(emu.DefaultChunk, 20_000_000, 1024, tr)
+	} else {
+		_, done = p.RunDigest(20_000_000, 1024, tr)
+	}
+	if err := p.Fault(); err != nil {
+		t.Fatalf("platform fault: %v", err)
+	}
+	if !done {
+		t.Fatalf("workload %s did not finish", spec.Name)
+	}
+	if spec.Verify != nil {
+		if err := spec.Verify(p.ReadSharedWord); err != nil {
+			t.Fatalf("verification failed: %v", err)
+		}
+	}
+	return tr
+}
+
+func TestGoldenFiles(t *testing.T) {
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			serial := goldenDigest(t, gc, false)
+			line := fmt.Sprintf("%s %d\n", serial.Hex(), serial.Len())
+			path := filepath.Join("testdata", "golden", gc.name+".digest")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(line), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s: %s", path, line)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if string(want) != line {
+				t.Errorf("serial digest drift:\n  got  %s  want %s", line, want)
+			}
+			par := goldenDigest(t, gc, true)
+			if pline := fmt.Sprintf("%s %d\n", par.Hex(), par.Len()); string(want) != pline {
+				t.Errorf("parallel digest drift:\n  got  %s  want %s", pline, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,180 @@
+// Package golden provides the conformance-digest machinery of the
+// framework: a streaming FNV-1a digest over labelled architectural-state
+// records, with an optional journal that turns a digest mismatch into a
+// human-diffable divergence report (first divergent cycle, core and field).
+//
+// The paper's headline claim is that the multi-MHz emulator produces the
+// same results as the cycle-accurate MPARM reference (Table 3); this package
+// is how the reproduction *proves* equivalences like that mechanically: any
+// two runs — serial vs parallel, clean vs faulted link, this commit vs a
+// committed golden file — record the same state fields into a Trace and are
+// asserted bit-identical by comparing 64-bit digests. When a journal was
+// kept, Compare pinpoints the first record where the runs diverged instead
+// of just reporting "hashes differ".
+package golden
+
+import "fmt"
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// Record is one labelled state observation: a named 64-bit value attributed
+// to a platform cycle and (optionally) a core. Core -1 marks platform-wide
+// state such as shared memory or interconnect counters.
+type Record struct {
+	Cycle uint64
+	Core  int
+	Field string
+	Value uint64
+}
+
+// String formats the record for divergence reports.
+func (r Record) String() string {
+	if r.Core < 0 {
+		return fmt.Sprintf("cycle %d: %s = %#x", r.Cycle, r.Field, r.Value)
+	}
+	return fmt.Sprintf("cycle %d core %d: %s = %#x", r.Cycle, r.Core, r.Field, r.Value)
+}
+
+// Trace accumulates state records into a streaming digest. The zero value
+// is not ready to use; construct with New (digest only) or NewJournal
+// (digest plus the record journal needed for divergence localisation).
+type Trace struct {
+	sum     uint64
+	n       int
+	keep    bool
+	journal []Record
+}
+
+// New returns a digest-only trace: O(1) memory, suitable for golden files
+// and production assertions.
+func New() *Trace { return &Trace{sum: fnvOffset} }
+
+// NewJournal returns a trace that additionally keeps every record, so
+// Compare can report the first divergent cycle/core/field of a mismatch.
+func NewJournal() *Trace { return &Trace{sum: fnvOffset, keep: true} }
+
+func (t *Trace) mix(b byte) { t.sum = (t.sum ^ uint64(b)) * fnvPrime }
+
+func (t *Trace) mix64(v uint64) {
+	for i := 0; i < 8; i++ {
+		t.mix(byte(v >> (8 * i)))
+	}
+}
+
+// Record appends one labelled observation to the digest (and the journal,
+// when kept). The stream is order-sensitive: both runs being compared must
+// record the same fields in the same order.
+func (t *Trace) Record(cycle uint64, core int, field string, value uint64) {
+	t.mix64(cycle)
+	t.mix64(uint64(int64(core)))
+	t.mix64(uint64(len(field)))
+	for i := 0; i < len(field); i++ {
+		t.mix(field[i])
+	}
+	t.mix64(value)
+	t.n++
+	if t.keep {
+		t.journal = append(t.journal, Record{Cycle: cycle, Core: core, Field: field, Value: value})
+	}
+}
+
+// Len returns the number of records folded into the digest so far.
+func (t *Trace) Len() int { return t.n }
+
+// Sum64 returns the current digest value.
+func (t *Trace) Sum64() uint64 { return t.sum }
+
+// Hex returns the digest as a fixed-width hex string (golden-file format).
+func (t *Trace) Hex() string { return fmt.Sprintf("%016x", t.sum) }
+
+// Journal returns the kept records (nil for digest-only traces).
+func (t *Trace) Journal() []Record { return t.journal }
+
+// HashString folds a string into a stand-alone FNV-1a value, for recording
+// non-numeric state (e.g. fault messages) as a Record value.
+func HashString(s string) uint64 {
+	h := fnvOffset
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
+}
+
+// HashBytes folds a byte slice into a stand-alone FNV-1a value, for
+// recording bulk state (e.g. a memory page) as a single Record value.
+func HashBytes(b []byte) uint64 {
+	h := fnvOffset
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime
+	}
+	return h
+}
+
+// Divergence describes the first point where two traces disagree.
+type Divergence struct {
+	// Index is the journal position of the first disagreement, or -1 when
+	// only the digests were available.
+	Index int
+	// A and B are the differing records (nil when that trace ended early or
+	// kept no journal).
+	A, B *Record
+	// SumA and SumB are the final digests.
+	SumA, SumB uint64
+}
+
+// String renders the divergence for test failures and CLI output.
+func (d *Divergence) String() string {
+	switch {
+	case d == nil:
+		return "traces identical"
+	case d.Index < 0:
+		return fmt.Sprintf("digests differ (%016x vs %016x); run with a journal to localise", d.SumA, d.SumB)
+	case d.A == nil:
+		return fmt.Sprintf("trace A ended at record %d; trace B continues with [%s]", d.Index, d.B)
+	case d.B == nil:
+		return fmt.Sprintf("trace B ended at record %d; trace A continues with [%s]", d.Index, d.A)
+	default:
+		return fmt.Sprintf("first divergence at record %d: A=[%s] B=[%s]", d.Index, d.A, d.B)
+	}
+}
+
+// Compare returns nil when the two traces carry identical digests, and a
+// Divergence otherwise. When both traces kept journals the divergence names
+// the first differing record (cycle, core, field, both values); otherwise it
+// reports only the digest mismatch.
+func Compare(a, b *Trace) *Divergence {
+	if a.sum == b.sum && a.n == b.n {
+		return nil
+	}
+	d := &Divergence{Index: -1, SumA: a.sum, SumB: b.sum}
+	if !a.keep || !b.keep {
+		return d
+	}
+	for i := 0; i < len(a.journal) && i < len(b.journal); i++ {
+		if a.journal[i] != b.journal[i] {
+			d.Index = i
+			d.A, d.B = &a.journal[i], &b.journal[i]
+			return d
+		}
+	}
+	// One journal is a strict prefix of the other.
+	d.Index = min(len(a.journal), len(b.journal))
+	if d.Index < len(a.journal) {
+		d.A = &a.journal[d.Index]
+	}
+	if d.Index < len(b.journal) {
+		d.B = &b.journal[d.Index]
+	}
+	return d
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,142 @@
+package golden
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDigestDeterministic(t *testing.T) {
+	mk := func() *Trace {
+		tr := New()
+		tr.Record(0, -1, "time_ps", 0)
+		tr.Record(10, 0, "instructions", 7)
+		tr.Record(10, 1, "instructions", 9)
+		return tr
+	}
+	a, b := mk(), mk()
+	if a.Sum64() != b.Sum64() || a.Len() != b.Len() {
+		t.Fatalf("identical record streams digest differently: %s vs %s", a.Hex(), b.Hex())
+	}
+	if d := Compare(a, b); d != nil {
+		t.Fatalf("Compare of identical traces: %s", d)
+	}
+	if got := a.Hex(); len(got) != 16 || strings.ToLower(got) != got {
+		t.Fatalf("Hex format %q: want 16 lower-case hex digits", got)
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	base := func() *Trace { tr := New(); tr.Record(5, 2, "pc", 0x40); return tr }
+	ref := base()
+	for name, tr := range map[string]*Trace{
+		"cycle": func() *Trace { tr := New(); tr.Record(6, 2, "pc", 0x40); return tr }(),
+		"core":  func() *Trace { tr := New(); tr.Record(5, 3, "pc", 0x40); return tr }(),
+		"field": func() *Trace { tr := New(); tr.Record(5, 2, "sp", 0x40); return tr }(),
+		"value": func() *Trace { tr := New(); tr.Record(5, 2, "pc", 0x44); return tr }(),
+	} {
+		if tr.Sum64() == ref.Sum64() {
+			t.Errorf("changing the %s did not change the digest", name)
+		}
+	}
+}
+
+func TestDigestOrderSensitive(t *testing.T) {
+	a := New()
+	a.Record(1, 0, "x", 1)
+	a.Record(1, 1, "x", 2)
+	b := New()
+	b.Record(1, 1, "x", 2)
+	b.Record(1, 0, "x", 1)
+	if a.Sum64() == b.Sum64() {
+		t.Fatal("reordered records produced the same digest")
+	}
+}
+
+func TestCompareLocalisesDivergence(t *testing.T) {
+	a, b := NewJournal(), NewJournal()
+	for _, tr := range []*Trace{a, b} {
+		tr.Record(0, -1, "time_ps", 100)
+		tr.Record(0, 0, "instructions", 50)
+	}
+	a.Record(64, 1, "stall_cycles", 3)
+	b.Record(64, 1, "stall_cycles", 4)
+	d := Compare(a, b)
+	if d == nil {
+		t.Fatal("divergent traces compared equal")
+	}
+	if d.Index != 2 || d.A == nil || d.B == nil {
+		t.Fatalf("divergence not localised: %+v", d)
+	}
+	if d.A.Cycle != 64 || d.A.Core != 1 || d.A.Field != "stall_cycles" {
+		t.Fatalf("wrong divergent record: %s", d.A)
+	}
+	if d.A.Value != 3 || d.B.Value != 4 {
+		t.Fatalf("wrong divergent values: A=%#x B=%#x", d.A.Value, d.B.Value)
+	}
+	for _, want := range []string{"record 2", "cycle 64 core 1", "stall_cycles"} {
+		if !strings.Contains(d.String(), want) {
+			t.Errorf("divergence report %q missing %q", d.String(), want)
+		}
+	}
+}
+
+func TestComparePrefixDivergence(t *testing.T) {
+	a, b := NewJournal(), NewJournal()
+	a.Record(0, 0, "pc", 4)
+	b.Record(0, 0, "pc", 4)
+	b.Record(8, 0, "pc", 8)
+	d := Compare(a, b)
+	if d == nil {
+		t.Fatal("prefix traces compared equal")
+	}
+	if d.Index != 1 || d.A != nil || d.B == nil {
+		t.Fatalf("prefix divergence not reported: %+v", d)
+	}
+	if !strings.Contains(d.String(), "trace A ended") {
+		t.Errorf("prefix report %q does not name the short trace", d.String())
+	}
+}
+
+func TestCompareDigestOnly(t *testing.T) {
+	a, b := New(), New()
+	a.Record(0, 0, "pc", 4)
+	b.Record(0, 0, "pc", 8)
+	d := Compare(a, b)
+	if d == nil {
+		t.Fatal("divergent digest-only traces compared equal")
+	}
+	if d.Index != -1 || d.A != nil || d.B != nil {
+		t.Fatalf("digest-only divergence carries journal data: %+v", d)
+	}
+	if !strings.Contains(d.String(), "journal") {
+		t.Errorf("digest-only report %q should suggest journaling", d.String())
+	}
+}
+
+func TestJournalKept(t *testing.T) {
+	tr := NewJournal()
+	tr.Record(3, -1, "wall_ps", 77)
+	j := tr.Journal()
+	if len(j) != 1 || j[0] != (Record{Cycle: 3, Core: -1, Field: "wall_ps", Value: 77}) {
+		t.Fatalf("journal = %+v", j)
+	}
+	if New().Journal() != nil {
+		t.Fatal("digest-only trace kept a journal")
+	}
+}
+
+func TestHashHelpers(t *testing.T) {
+	// Canonical FNV-1a 64 test vector.
+	if got := HashString(""); got != fnvOffset {
+		t.Fatalf("HashString(\"\") = %#x, want offset basis", got)
+	}
+	if got, want := HashString("a"), uint64(0xaf63dc4c8601ec8c); got != want {
+		t.Fatalf("HashString(\"a\") = %#x, want %#x", got, want)
+	}
+	if HashBytes([]byte("abc")) != HashString("abc") {
+		t.Fatal("HashBytes and HashString disagree on equal input")
+	}
+	if HashString("ab") == HashString("ba") {
+		t.Fatal("HashString is order-insensitive")
+	}
+}

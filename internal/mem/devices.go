@@ -88,6 +88,10 @@ func (b *Barrier) Name() string { return b.name }
 // Generation returns the number of completed barrier phases.
 func (b *Barrier) Generation() uint32 { return b.gen }
 
+// Arrivals returns the number of participants that have arrived in the
+// current (incomplete) phase.
+func (b *Barrier) Arrivals() int { return b.arrivals }
+
 // Size implements Target.
 func (b *Barrier) Size() uint32 { return 4 }
 

@@ -15,7 +15,7 @@ package mem
 
 import (
 	"fmt"
-	"sync"
+	"sort"
 )
 
 // Target is a memory-mapped component: the functional data plane plus the
@@ -234,49 +234,29 @@ func (r *Routed) StoreByte(addr uint32, b byte) { r.Under.StoreByte(addr, b) }
 // Size implements Target.
 func (r *Routed) Size() uint32 { return r.Under.Size() }
 
-// Locked serialises access to a shared Target, allowing the emulated cores
-// to be stepped on concurrent host threads (the software analogue of the
-// FPGA's spatial parallelism). Per-core resources stay lock-free; only the
-// shared memory path, devices and interconnect go through the mutex.
-type Locked struct {
-	Mu    *sync.Mutex
-	Under Target
+// EachPage visits every touched, non-zero page of the memory in ascending
+// address order, passing the page's base address and its contents. Pages
+// that were allocated but hold only zeroes are skipped, so the iteration
+// (and any digest built over it) depends only on the architectural contents
+// of the memory, not on its allocation history.
+func (m *Memory) EachPage(fn func(addr uint32, page []byte)) {
+	idxs := make([]uint32, 0, len(m.pages))
+	for idx := range m.pages {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, idx := range idxs {
+		p := m.pages[idx]
+		zero := true
+		for _, b := range p {
+			if b != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			continue
+		}
+		fn(idx*pageSize, p[:])
+	}
 }
-
-// Latency implements Target.
-func (l *Locked) Latency(now uint64, addr uint32, bytes uint32, write bool) uint64 {
-	l.Mu.Lock()
-	defer l.Mu.Unlock()
-	return l.Under.Latency(now, addr, bytes, write)
-}
-
-// LoadWord implements Target.
-func (l *Locked) LoadWord(addr uint32) uint32 {
-	l.Mu.Lock()
-	defer l.Mu.Unlock()
-	return l.Under.LoadWord(addr)
-}
-
-// StoreWord implements Target.
-func (l *Locked) StoreWord(addr uint32, v uint32) {
-	l.Mu.Lock()
-	defer l.Mu.Unlock()
-	l.Under.StoreWord(addr, v)
-}
-
-// LoadByte implements Target.
-func (l *Locked) LoadByte(addr uint32) byte {
-	l.Mu.Lock()
-	defer l.Mu.Unlock()
-	return l.Under.LoadByte(addr)
-}
-
-// StoreByte implements Target.
-func (l *Locked) StoreByte(addr uint32, b byte) {
-	l.Mu.Lock()
-	defer l.Mu.Unlock()
-	l.Under.StoreByte(addr, b)
-}
-
-// Size implements Target.
-func (l *Locked) Size() uint32 { return l.Under.Size() }

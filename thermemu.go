@@ -33,6 +33,7 @@ import (
 	"thermemu/internal/emu"
 	"thermemu/internal/etherlink"
 	"thermemu/internal/floorplan"
+	"thermemu/internal/golden"
 	"thermemu/internal/mparm"
 	"thermemu/internal/thermal"
 	"thermemu/internal/tm"
@@ -77,6 +78,12 @@ type (
 	// ServeOptions tunes one ThermalHost.Serve session (shared metrics,
 	// idle budget, reliability).
 	ServeOptions = core.ServeOptions
+	// GoldenTrace is a streaming conformance digest over emulation state;
+	// two runs with equal digests executed the same emulation bit for bit.
+	GoldenTrace = golden.Trace
+	// GoldenDivergence localises the first difference between two journaled
+	// golden traces (cycle, core, field, both values).
+	GoldenDivergence = golden.Divergence
 )
 
 // ErrNoConvergence is the sentinel wrapped by SteadyState errors when the
@@ -199,12 +206,14 @@ func RunWorkload(cfg PlatformConfig, spec *Workload) (RunStats, error) {
 }
 
 // RunWorkloadParallel is RunWorkload with the platform built for parallel
-// mode and stepped on concurrent host threads in chunks of `chunk` cycles
-// (0 = default). This is the software analogue of the FPGA's spatial
-// parallelism: on a multi-core host, wall time stays nearly flat as
-// emulated cores are added. Contention timing is resolved in host-arrival
-// order, so cycle counts are not bit-reproducible; functional results are
-// verified as usual.
+// mode and stepped on concurrent host threads in deterministic epochs of
+// `chunk` cycles (0 = default). This is the software analogue of the FPGA's
+// spatial parallelism: on a multi-core host, wall time stays nearly flat as
+// emulated cores are added. The kernel is deterministic by construction —
+// shared-path accesses commit in (cycle, coreID) order, so cycle counts,
+// statistics and architectural state are bit-identical to the serial
+// RunWorkload, at any chunk size, run after run (assert it with
+// RunWorkloadGolden / RunWorkloadParallelGolden and CompareGolden).
 func RunWorkloadParallel(cfg PlatformConfig, spec *Workload, chunk uint64) (RunStats, error) {
 	cfg.Parallel = true
 	cfg.EventLogging = false
@@ -217,6 +226,73 @@ func RunWorkloadParallel(cfg PlatformConfig, spec *Workload, chunk uint64) (RunS
 	}
 	start := time.Now()
 	cycles, done := p.RunParallel(chunk, 1<<62)
+	wall := time.Since(start)
+	if err := p.Fault(); err != nil {
+		return RunStats{}, err
+	}
+	if done && spec.Verify != nil {
+		if err := spec.Verify(p.ReadSharedWord); err != nil {
+			return RunStats{}, err
+		}
+	}
+	return newRunStats("emulator-par/"+spec.Name, p, cycles, wall, done), nil
+}
+
+// NewGoldenTrace returns a streaming digest-only golden trace (constant
+// memory; CompareGolden can tell two such traces apart but not localise the
+// divergence).
+func NewGoldenTrace() *GoldenTrace { return golden.New() }
+
+// NewGoldenJournal returns a golden trace that additionally journals every
+// record, so CompareGolden reports the first divergent cycle, core and field.
+func NewGoldenJournal() *GoldenTrace { return golden.NewJournal() }
+
+// CompareGolden returns nil when two golden traces digest the same emulation,
+// otherwise a divergence report (localised when both traces are journals).
+func CompareGolden(a, b *GoldenTrace) *GoldenDivergence { return golden.Compare(a, b) }
+
+// RunWorkloadGolden is RunWorkload with conformance sampling: a statistics
+// snapshot is folded into tr every `every` cycles plus the platform's full
+// architectural state at the end. Traces from equal (workload, platform,
+// every) runs — serial or parallel, any chunk size — must compare equal.
+func RunWorkloadGolden(cfg PlatformConfig, spec *Workload, every uint64, tr *GoldenTrace) (RunStats, error) {
+	p, err := emu.New(cfg)
+	if err != nil {
+		return RunStats{}, err
+	}
+	if err := loadSpec(p, spec); err != nil {
+		return RunStats{}, err
+	}
+	start := time.Now()
+	cycles, done := p.RunDigest(1<<62, every, tr)
+	wall := time.Since(start)
+	if err := p.Fault(); err != nil {
+		return RunStats{}, err
+	}
+	if done && spec.Verify != nil {
+		if err := spec.Verify(p.ReadSharedWord); err != nil {
+			return RunStats{}, err
+		}
+	}
+	return newRunStats("emulator/"+spec.Name, p, cycles, wall, done), nil
+}
+
+// RunWorkloadParallelGolden is RunWorkloadParallel with conformance sampling
+// at the same boundaries as RunWorkloadGolden, so the two traces are directly
+// comparable: equal digests prove the parallel kernel reproduced the serial
+// run bit for bit.
+func RunWorkloadParallelGolden(cfg PlatformConfig, spec *Workload, chunk, every uint64, tr *GoldenTrace) (RunStats, error) {
+	cfg.Parallel = true
+	cfg.EventLogging = false
+	p, err := emu.New(cfg)
+	if err != nil {
+		return RunStats{}, err
+	}
+	if err := loadSpec(p, spec); err != nil {
+		return RunStats{}, err
+	}
+	start := time.Now()
+	cycles, done := p.RunParallelDigest(chunk, 1<<62, every, tr)
 	wall := time.Since(start)
 	if err := p.Fault(); err != nil {
 		return RunStats{}, err

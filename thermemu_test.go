@@ -49,6 +49,50 @@ func TestRunWorkloadParallelVerifies(t *testing.T) {
 	}
 }
 
+func TestRunWorkloadGoldenSerialParallelAgree(t *testing.T) {
+	spec, err := Matrix(4, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := NewGoldenJournal()
+	if _, err := RunWorkloadGolden(DefaultPlatform(4), spec, 256, serial); err != nil {
+		t.Fatal(err)
+	}
+	par := NewGoldenJournal()
+	if _, err := RunWorkloadParallelGolden(DefaultPlatform(4), spec, 64, 256, par); err != nil {
+		t.Fatal(err)
+	}
+	if d := CompareGolden(serial, par); d != nil {
+		t.Fatalf("serial and parallel facade runs diverge: %s", d)
+	}
+	if serial.Hex() != par.Hex() || serial.Len() == 0 {
+		t.Fatalf("digests: serial %s (%d records) vs parallel %s (%d records)",
+			serial.Hex(), serial.Len(), par.Hex(), par.Len())
+	}
+}
+
+func TestCoEmulationGoldenReproducible(t *testing.T) {
+	run := func() *GoldenTrace {
+		cfg, err := Fig6(2, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.ThermalTimeScale = 100
+		cfg.Golden = NewGoldenTrace()
+		if _, err := RunCoEmulation(cfg, nil); err != nil {
+			t.Fatal(err)
+		}
+		return cfg.Golden
+	}
+	a, b := run(), run()
+	if d := CompareGolden(a, b); d != nil {
+		t.Fatalf("repeated co-emulation runs diverge: %s", d)
+	}
+	if a.Len() == 0 {
+		t.Fatal("co-emulation recorded no golden records")
+	}
+}
+
 func TestTable1ContainsPaperRows(t *testing.T) {
 	out := Table1()
 	for _, want := range []string{"RISC32-ARM7", "RISC32-ARM11", "DCache-8kB-2way",
