@@ -1,0 +1,154 @@
+// Command benchgate enforces the closed-loop performance contract on a
+// `go test -json` benchmark stream (BENCH_loop.json from CI):
+//
+//   - BenchmarkClosedLoopPipelinedLink must beat BenchmarkClosedLoopSerialLink
+//     in windows/s: pipelining exists to hide link latency, and that win is
+//     processor-count independent.
+//   - BenchmarkClosedLoopPipelined must beat BenchmarkClosedLoopSerial when
+//     the runner has more than one processor; on a single-CPU runner, where
+//     overlap is physically impossible, it must stay within 10% of serial
+//     (the pipeline's bookkeeping overhead budget).
+//   - The pipelined steady state must not allocate per window.
+//
+// Usage: benchgate [BENCH_loop.json]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of test2json's output we care about.
+type event struct {
+	Action string
+	Output string
+}
+
+// metrics of one benchmark result line.
+type metrics struct {
+	windowsPerS float64
+	allocsPerW  float64
+	hasAllocs   bool
+	maxprocs    float64
+}
+
+var resultLine = regexp.MustCompile(`^(BenchmarkClosedLoop\w+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+func parse(path string) (map[string]metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	// Reassemble the raw test output: test2json splits benchmark result
+	// lines across events (name first, numbers later).
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			// Tolerate plain `go test -bench` output as input too.
+			text.WriteString(sc.Text())
+			text.WriteByte('\n')
+			continue
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := make(map[string]metrics)
+	for _, line := range strings.Split(text.String(), "\n") {
+		m := resultLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		var mt metrics
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "windows/s":
+				mt.windowsPerS = v
+			case "allocs/window":
+				mt.allocsPerW = v
+				mt.hasAllocs = true
+			case "maxprocs":
+				mt.maxprocs = v
+			}
+		}
+		out[m[1]] = mt
+	}
+	return out, nil
+}
+
+func main() {
+	path := "BENCH_loop.json"
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	}
+	res, err := parse(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	get := func(name string) metrics {
+		m, ok := res[name]
+		if !ok || m.windowsPerS == 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: %s missing from %s\n", name, path)
+			os.Exit(2)
+		}
+		return m
+	}
+	serial := get("BenchmarkClosedLoopSerial")
+	pipe := get("BenchmarkClosedLoopPipelined")
+	serialLink := get("BenchmarkClosedLoopSerialLink")
+	pipeLink := get("BenchmarkClosedLoopPipelinedLink")
+
+	fail := 0
+	check := func(ok bool, format string, args ...any) {
+		status := "ok  "
+		if !ok {
+			status = "FAIL"
+			fail = 1
+		}
+		fmt.Printf("%s %s\n", status, fmt.Sprintf(format, args...))
+	}
+
+	check(pipeLink.windowsPerS > serialLink.windowsPerS,
+		"link: pipelined %.1f windows/s vs serial %.1f windows/s",
+		pipeLink.windowsPerS, serialLink.windowsPerS)
+
+	if serial.maxprocs > 1 {
+		check(pipe.windowsPerS > serial.windowsPerS,
+			"in-process (%d cpus): pipelined %.1f windows/s vs serial %.1f windows/s",
+			int(serial.maxprocs), pipe.windowsPerS, serial.windowsPerS)
+	} else {
+		check(pipe.windowsPerS >= 0.9*serial.windowsPerS,
+			"in-process (1 cpu, parity gate): pipelined %.1f windows/s vs serial %.1f windows/s",
+			pipe.windowsPerS, serial.windowsPerS)
+	}
+
+	if pipe.hasAllocs {
+		check(pipe.allocsPerW < 1,
+			"pipelined steady state: %.2f allocs/window", pipe.allocsPerW)
+	} else {
+		check(false, "pipelined allocs/window metric missing")
+	}
+
+	os.Exit(fail)
+}

@@ -39,6 +39,7 @@ func main() {
 		freqMHz  = flag.Int("freq", 0, "virtual clock in MHz (0 = platform default)")
 		withTM   = flag.Bool("tm", false, "enable the 350K/340K threshold DFS policy")
 		windowMs = flag.Float64("window", 1.0, "sampling window in virtual ms")
+		pipeline = flag.Int("pipeline", 0, "pipeline depth: overlap emulation with the thermal solve at a sensor latency of this many windows (0 = serial loop)")
 		tscale   = flag.Float64("timescale", 100, "thermal time compression (1 = paper-faithful)")
 		cells    = flag.Int("cells", 28, "thermal cells for the floorplan grid")
 		workers  = flag.Int("workers", 0, "thermal solver shards (0 = auto, 1 = serial)")
@@ -54,7 +55,7 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(*cores, *workload, *n, *iters, *size, *ic, *nocSpec, *freqMHz, *withTM,
-		*windowMs, *tscale, *cells, *workers, *csvPath, *hostAddr, *fault, *faultSeed,
+		*windowMs, *pipeline, *tscale, *cells, *workers, *csvPath, *hostAddr, *fault, *faultSeed,
 		*redial, *report, *digest, *vcdPath, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "thermemu:", err)
 		os.Exit(1)
@@ -62,8 +63,9 @@ func main() {
 }
 
 func run(cores int, workload string, n, iters, size int, ic, nocSpec string, freqMHz int,
-	withTM bool, windowMs, tscale float64, cells, workers int, csvPath, hostAddr, fault string,
-	faultSeed int64, redial, report, digest bool, vcdPath, jsonPath string) error {
+	withTM bool, windowMs float64, pipeline int, tscale float64, cells, workers int,
+	csvPath, hostAddr, fault string, faultSeed int64, redial, report, digest bool,
+	vcdPath, jsonPath string) error {
 	pcfg := thermemu.DefaultPlatform(cores)
 	switch ic {
 	case "opb":
@@ -120,6 +122,7 @@ func run(cores int, workload string, n, iters, size int, ic, nocSpec string, fre
 		Host:             host,
 		WindowPs:         uint64(windowMs * 1e9),
 		ThermalTimeScale: tscale,
+		PipelineDepth:    pipeline,
 	}
 	if withTM {
 		cfg.Policy = tm.NewThresholdDFS()
@@ -195,6 +198,10 @@ func run(cores int, workload string, n, iters, size int, ic, nocSpec string, fre
 	fmt.Printf("samples:        %d (window %.2f ms)\n", len(res.Samples), windowMs)
 	fmt.Printf("max temp:       %.2f K\n", res.MaxTempK)
 	fmt.Printf("DFS events:     %d\n", res.DFSEvents)
+	if pipeline > 0 {
+		fmt.Printf("pipeline:       depth %d (sensor latency %d windows), thermal lag %.3f ms frozen\n",
+			pipeline, pipeline, float64(res.ThermalLagPs)*1e-9)
+	}
 	if digest {
 		// The digest pins the whole run: identical flags must reproduce it
 		// bit for bit (serial or parallel platform alike).

@@ -323,6 +323,9 @@ type Fig6Options struct {
 	WindowPs  uint64  // sampling window (paper: 10 ms)
 	TimeScale float64 // thermal time compression (1 = paper-faithful)
 	MaxCycles uint64  // optional hard bound
+	// PipelineDepth overlaps emulation with the thermal solve; DFS actions
+	// land this many windows later than in the serial loop (0 = serial).
+	PipelineDepth int
 }
 
 func (o *Fig6Options) fill() {
@@ -360,6 +363,7 @@ func Fig6Series(opts Fig6Options) (*Fig6Data, error) {
 		cfg.WindowPs = opts.WindowPs
 		cfg.ThermalTimeScale = opts.TimeScale
 		cfg.MaxCycles = opts.MaxCycles
+		cfg.PipelineDepth = opts.PipelineDepth
 		return cfg, nil
 	}
 	out := &Fig6Data{}

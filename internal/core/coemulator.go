@@ -60,6 +60,23 @@ type Config struct {
 	// architectural state at run end (see internal/golden). Two runs with
 	// equal digests executed the same emulation bit for bit.
 	Golden *golden.Trace
+	// PipelineDepth > 0 runs the loop as a software pipeline: window N+1
+	// emulates while window N's statistics are dispatched and solved, with
+	// a bounded hand-off queue of that depth. Temperature/DFS feedback is
+	// applied at deterministic window boundaries with a fixed sensor
+	// latency of PipelineDepth windows (the serial loop has latency 0), so
+	// pipelined runs are bit-reproducible run to run and — with TM feedback
+	// off — digest-identical to serial runs. When the queue fills, the
+	// virtual clock freezes under the vpcm.ThermalLagSource attribution
+	// instead of corrupting windows. 0 keeps the serial loop. Incompatible
+	// with Platform.EventLogging (the event ring drains inline with the
+	// emulating stage).
+	PipelineDepth int
+	// DiscardSamples skips accumulating Result.Samples so week-long
+	// monitoring runs keep a flat memory profile; onSample still observes
+	// every window, but the sample's slices are only valid during the
+	// callback (they are reused buffers on the pipelined hot path).
+	DiscardSamples bool
 }
 
 // Sample is one closed-loop observation: the end of one sampling window.
@@ -88,8 +105,19 @@ type Result struct {
 	// Link is the link-layer metrics snapshot of a transport-mode run
 	// (frames, bytes, retries, gaps, CRC errors, latency histogram).
 	Link etherlink.LinkSnapshot
-	// Report is the platform's detailed statistics report at run end.
+	// Report is the platform's detailed statistics report at run end. It is
+	// empty on a partial result: a half-stepped platform's counters are not
+	// meaningful.
 	Report string
+	// Partial marks a run that aborted mid-window (e.g. on a link error):
+	// Cycles, VirtualS and FinalSnap then describe the last *committed*
+	// sampling window — the platform state past it was never solved and is
+	// not reported.
+	Partial bool
+	// ThermalLagPs is the physical time the virtual clock spent frozen
+	// because the thermal solve (or the link carrying it) lagged the
+	// pipelined emulation (vpcm.ThermalLagSource). Always 0 in serial runs.
+	ThermalLagPs uint64
 }
 
 // DefaultWindowPs is the paper's 10 ms sampling period.
@@ -128,6 +156,12 @@ func Run(cfg Config, onSample func(Sample)) (*Result, error) {
 	if cfg.Workload == nil || cfg.Host == nil {
 		return nil, fmt.Errorf("core: workload and host are required")
 	}
+	if cfg.PipelineDepth < 0 {
+		return nil, fmt.Errorf("core: negative pipeline depth %d", cfg.PipelineDepth)
+	}
+	if cfg.PipelineDepth > 0 && cfg.Platform.EventLogging {
+		return nil, fmt.Errorf("core: pipelined loop is incompatible with event logging (the BRAM ring drains inline with the emulating stage)")
+	}
 	if cfg.WindowPs == 0 {
 		cfg.WindowPs = DefaultWindowPs
 	}
@@ -153,7 +187,16 @@ func Run(cfg Config, onSample func(Sample)) (*Result, error) {
 	eval.DVFS = cfg.DVFS
 	var disp *etherlink.Dispatcher
 	if cfg.Transport != nil {
-		disp = etherlink.NewDispatcher(cfg.Transport, p.VPCM, cfg.DrainPhysCycles)
+		var frz etherlink.Freezer = p.VPCM
+		if cfg.PipelineDepth > 0 {
+			// The dispatcher runs on the solver stage, concurrent with the
+			// emulating stage that advances the VPCM: it must account frozen
+			// time (mutex-guarded) but may not toggle the freeze flag the
+			// emulator polls. The emulating stage raises its own
+			// thermal-lag freeze when the hand-off queue fills.
+			frz = asyncFreezer{p.VPCM}
+		}
+		disp = etherlink.NewDispatcher(cfg.Transport, frz, cfg.DrainPhysCycles)
 		if !cfg.LinkPlain {
 			disp.EnableReliability(cfg.Link)
 		}
@@ -179,11 +222,30 @@ func Run(cfg Config, onSample func(Sample)) (*Result, error) {
 	if tscale <= 0 {
 		tscale = 1
 	}
+	if cfg.PipelineDepth > 0 {
+		return runPipelined(cfg, p, eval, disp, maxCycles, tscale, onSample)
+	}
 	res := &Result{}
 	start := time.Now()
 	prev := p.Snapshot()
+	// committed tracks the last fully-solved sampling window; an abort
+	// mid-window reports it instead of the half-stepped platform state.
+	committed := prev
 	powers := make([]float64, cfg.Host.NumComponents())
 	powerUW := make([]uint32, cfg.Host.NumComponents())
+	partial := func(err error) (*Result, error) {
+		res.Partial = true
+		res.FinalSnap = committed
+		res.Cycles = committed.Cycle
+		res.VirtualS = float64(committed.TimePs) * 1e-12
+		res.Wall = time.Since(start)
+		res.DFSEvents = p.VPCM.DFSEvents()
+		if disp != nil {
+			res.Congestion = disp.Stats()
+			res.Link = disp.Link().Snapshot()
+		}
+		return res, err
+	}
 
 	for !p.AllHalted() && p.VPCM.Cycle() < maxCycles {
 		// One sampling window at the current virtual frequency.
@@ -205,17 +267,17 @@ func Run(cfg Config, onSample func(Sample)) (*Result, error) {
 			p.Step(n)
 		}
 		if err := p.Fault(); err != nil {
-			return nil, err
+			return partial(err)
 		}
 		snap := p.Snapshot()
 		emu.DigestSnapshot(cfg.Golden, snap)
 		if disp != nil && cfg.Platform.EventLogging {
 			if _, err := disp.PumpEvents(p.Ring); err != nil {
-				return nil, err
+				return partial(err)
 			}
 		}
 		if _, err := eval.Powers(prev, snap, powers); err != nil {
-			return nil, err
+			return partial(err)
 		}
 		windowPs := uint64(float64(snap.TimePs-prev.TimePs) * tscale)
 		prev = snap
@@ -228,11 +290,11 @@ func Run(cfg Config, onSample func(Sample)) (*Result, error) {
 			if err := disp.SendStats(&etherlink.Stats{
 				Cycle: snap.Cycle, WindowPs: windowPs, PowerUW: powerUW,
 			}); err != nil {
-				return nil, err
+				return partial(err)
 			}
 			temps, err := disp.RecvTemps(nil)
 			if err != nil {
-				return nil, err
+				return partial(err)
 			}
 			cellTemps = make([]float64, len(temps.MilliK))
 			for i := range temps.MilliK {
@@ -241,7 +303,7 @@ func Run(cfg Config, onSample func(Sample)) (*Result, error) {
 		} else {
 			cellTemps, err = cfg.Host.StepWindow(powers, float64(windowPs)*1e-12)
 			if err != nil {
-				return nil, err
+				return partial(err)
 			}
 		}
 
@@ -280,15 +342,20 @@ func Run(cfg Config, onSample func(Sample)) (*Result, error) {
 			}
 		}
 
-		res.Samples = append(res.Samples, sample)
+		if !cfg.DiscardSamples {
+			res.Samples = append(res.Samples, sample)
+		}
 		if onSample != nil {
 			onSample(sample)
 		}
+		// The window is committed only once its temperatures arrived and the
+		// policy ran: from here on its snapshot is safe to report.
+		committed = snap
 	}
 
 	if disp != nil {
 		if err := disp.SendCtrl(etherlink.CtrlStop, p.VPCM.Cycle()); err != nil {
-			return nil, err
+			return partial(err)
 		}
 		res.Congestion = disp.Stats()
 		res.Link = disp.Link().Snapshot()

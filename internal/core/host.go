@@ -70,6 +70,13 @@ func (h *ThermalHost) NumComponents() int { return len(h.FP.Components) }
 // integrates the thermal model over dt seconds. It returns the new
 // bottom-surface cell temperatures.
 func (h *ThermalHost) StepWindow(compPowerW []float64, dt float64) ([]float64, error) {
+	return h.StepWindowInto(compPowerW, dt, nil)
+}
+
+// StepWindowInto is StepWindow with a caller-owned temperature buffer: the
+// result reuses tempsOut's backing array when its capacity suffices, so a
+// loop that hands the same buffer back every window allocates nothing.
+func (h *ThermalHost) StepWindowInto(compPowerW []float64, dt float64, tempsOut []float64) ([]float64, error) {
 	if len(compPowerW) != len(h.FP.Components) {
 		return nil, fmt.Errorf("core: power vector has %d entries, floorplan has %d components",
 			len(compPowerW), len(h.FP.Components))
@@ -79,7 +86,7 @@ func (h *ThermalHost) StepWindow(compPowerW []float64, dt float64) ([]float64, e
 		return nil, err
 	}
 	h.Model.Step(dt)
-	return h.Model.Temps(), nil
+	return h.Model.TempsInto(tempsOut), nil
 }
 
 // SteadyState injects one vector of per-component power (watts) and relaxes
@@ -103,7 +110,17 @@ func (h *ThermalHost) SteadyState(compPowerW []float64, tol float64, maxSweeps i
 // ComponentTemps converts per-cell temperatures into per-component sensor
 // readings (area-weighted over the covering cells).
 func (h *ThermalHost) ComponentTemps(cellTemps []float64) []float64 {
-	out := make([]float64, len(h.FP.Components))
+	return h.ComponentTempsInto(cellTemps, nil)
+}
+
+// ComponentTempsInto is ComponentTemps with a caller-owned output buffer,
+// reused when its capacity suffices.
+func (h *ThermalHost) ComponentTempsInto(cellTemps, out []float64) []float64 {
+	n := len(h.FP.Components)
+	if cap(out) < n {
+		out = make([]float64, n)
+	}
+	out = out[:n]
 	for i := range h.FP.Components {
 		out[i] = floorplan.ComponentTemp(h.FP, h.SiCells, cellTemps, i)
 	}
@@ -148,6 +165,43 @@ func (h *ThermalHost) ServeWith(tr etherlink.Transport, opt ServeOptions) error 
 			MaxRetries:   opt.MaxRetries,
 		})
 	}
+	// Session-lifetime scratch buffers: the per-window serve path reuses
+	// them so a long run does not allocate per frame.
+	var (
+		pwBuf      []float64
+		tempsBuf   []float64
+		milliKBuf  []uint32
+		payloadBuf []byte
+		batch      etherlink.StatsBatch
+		reply      etherlink.TempsBatch
+	)
+	// stepStats solves one statistics window and quantises the resulting
+	// cell temperatures into milliK (reusing its capacity).
+	stepStats := func(s *etherlink.Stats, milliK []uint32) (uint64, []uint32, error) {
+		if cap(pwBuf) < len(s.PowerUW) {
+			pwBuf = make([]float64, len(s.PowerUW))
+		}
+		pwBuf = pwBuf[:len(s.PowerUW)]
+		for i, uw := range s.PowerUW {
+			pwBuf[i] = float64(uw) * 1e-6
+		}
+		temps, err := h.StepWindowInto(pwBuf, float64(s.WindowPs)*1e-12, tempsBuf)
+		if err != nil {
+			return 0, milliK, err
+		}
+		tempsBuf = temps
+		if cap(milliK) < len(temps) {
+			milliK = make([]uint32, len(temps))
+		}
+		milliK = milliK[:len(temps)]
+		for i, k := range temps {
+			if k < 0 {
+				k = 0
+			}
+			milliK[i] = uint32(k*1000 + 0.5)
+		}
+		return uint64(h.Model.Time() * 1e12), milliK, nil
+	}
 	for {
 		f, err := ep.Recv()
 		if err != nil {
@@ -183,16 +237,37 @@ func (h *ThermalHost) ServeWith(tr etherlink.Transport, opt ServeOptions) error 
 			if err != nil {
 				return err
 			}
-			pw := make([]float64, len(s.PowerUW))
-			for i, uw := range s.PowerUW {
-				pw[i] = float64(uw) * 1e-6
-			}
-			temps, err := h.StepWindow(pw, float64(s.WindowPs)*1e-12)
+			timePs, milliK, err := stepStats(s, milliKBuf)
+			milliKBuf = milliK
 			if err != nil {
 				return err
 			}
-			reply := etherlink.TempsFromKelvin(uint64(h.Model.Time()*1e12), temps)
-			if err := ep.Send(etherlink.MsgTemp, reply.MarshalPayload()); err != nil {
+			t := etherlink.Temps{TimePs: timePs, MilliK: milliK}
+			payloadBuf = t.AppendPayload(payloadBuf[:0])
+			if err := ep.Send(etherlink.MsgTemp, payloadBuf); err != nil {
+				return err
+			}
+		case etherlink.MsgStatsBatch:
+			if err := etherlink.UnmarshalStatsBatchInto(&batch, f.Payload); err != nil {
+				return err
+			}
+			if cap(reply.Windows) < len(batch.Windows) {
+				reply.Windows = append(reply.Windows[:cap(reply.Windows)],
+					make([]etherlink.Temps, len(batch.Windows)-cap(reply.Windows))...)
+			}
+			reply.Windows = reply.Windows[:len(batch.Windows)]
+			// Windows are solved strictly in order, so batching changes
+			// only the framing, never the thermal trajectory.
+			for i := range batch.Windows {
+				timePs, milliK, err := stepStats(&batch.Windows[i], reply.Windows[i].MilliK)
+				reply.Windows[i].TimePs = timePs
+				reply.Windows[i].MilliK = milliK
+				if err != nil {
+					return err
+				}
+			}
+			payloadBuf = reply.AppendPayload(payloadBuf[:0])
+			if err := ep.Send(etherlink.MsgTempBatch, payloadBuf); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,99 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"thermemu/internal/asm"
+	"thermemu/internal/isa"
+	"thermemu/internal/mem"
+)
+
+// benchWords is a realistic instruction-word mix: the working set of a
+// small loop kernel (a few dozen distinct words), visited repeatedly the
+// way a fetch stream does.
+func benchWords() []uint32 {
+	rng := rand.New(rand.NewSource(7))
+	uniq := make([]uint32, 48)
+	for i := range uniq {
+		uniq[i] = rng.Uint32()
+	}
+	words := make([]uint32, 4096)
+	for i := range words {
+		words[i] = uniq[rng.Intn(len(uniq))]
+	}
+	return words
+}
+
+// BenchmarkDecodeRaw measures the pure field-unpacking decoder.
+func BenchmarkDecodeRaw(b *testing.B) {
+	words := benchWords()
+	b.ResetTimer()
+	var sink isa.Instr
+	for i := 0; i < b.N; i++ {
+		sink = isa.Decode(words[i%len(words)])
+	}
+	_ = sink
+}
+
+// BenchmarkDecodeMemoized measures the direct-mapped decoded-instruction
+// table on the same word stream.
+func BenchmarkDecodeMemoized(b *testing.B) {
+	words := benchWords()
+	var c isa.DecodeCache
+	b.ResetTimer()
+	var sink isa.Instr
+	for i := 0; i < b.N; i++ {
+		sink = c.Decode(words[i%len(words)])
+	}
+	_ = sink
+}
+
+// buildBenchCore assembles a non-halting loop kernel onto a fresh core.
+func buildBenchCore(b *testing.B) *Core {
+	b.Helper()
+	im, err := asm.Assemble(`
+		addi r1, r0, 1
+		addi r2, r0, 0
+		addi r4, r0, 0x100
+	loop:
+		add  r2, r2, r1
+		sub  r3, r2, r1
+		and  r5, r2, r3
+		or   r6, r2, r3
+		sw   r2, 0(r4)
+		lw   r7, 0(r4)
+		addi r4, r4, 4
+		andi r4, r4, 0x1FC
+		ori  r4, r4, 0x100
+		jal  loop
+	`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctl := mem.NewController("ctl0", 0)
+	priv := mem.NewMemory("priv", 64*1024, 0)
+	if err := ctl.AddRange(mem.Range{Name: "priv", Base: 0, Target: priv, Kind: mem.KindPrivate}); err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range im.Sections {
+		priv.WriteBytes(s.Addr, s.Data)
+	}
+	core := New(0, Microblaze, ctl)
+	core.Reset(im.Entry)
+	return core
+}
+
+// BenchmarkCoreStep measures the fetch/dispatch hot path end to end: one
+// core stepping a loop kernel through the memoized decoder.
+func BenchmarkCoreStep(b *testing.B) {
+	core := buildBenchCore(b)
+	b.ResetTimer()
+	for now := uint64(0); now < uint64(b.N); now++ {
+		core.Step(now)
+	}
+	if core.Fault() != nil {
+		b.Fatal(core.Fault())
+	}
+	b.ReportMetric(float64(core.Stats().Instructions)/b.Elapsed().Seconds(), "instr/s")
+}

@@ -128,6 +128,10 @@ type Core struct {
 	issueWidth int
 	// tracer, when set, observes every committed instruction.
 	tracer func(pc uint32, word uint32)
+	// dec memoizes instruction decode for the fetch/dispatch hot path.
+	// Decode is pure, so the table never needs invalidation; it is per-core
+	// so the parallel kernel's goroutines do not share it.
+	dec isa.DecodeCache
 }
 
 // New creates a core attached to its memory controller. The VLIW2 preset
@@ -247,14 +251,14 @@ func (c *Core) Step(now uint64) {
 		c.fault = err
 		return
 	}
-	i1 := isa.Decode(w)
+	i1 := c.dec.Decode(w)
 	// Dual issue: if the first operation does not end the bundle, peek the
 	// next word and issue it in the same cycle when no structural or data
 	// hazard exists between the pair.
 	if c.issueWidth > 1 && !endsBundle(i1) {
 		w2, f2, err := c.ctrl.Fetch(now, c.pc+4)
 		if err == nil {
-			i2 := isa.Decode(w2)
+			i2 := c.dec.Decode(w2)
 			if pairable(i1, i2) {
 				if c.tracer != nil {
 					c.tracer(c.pc, w)

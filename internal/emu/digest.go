@@ -122,7 +122,10 @@ func (p *Platform) DigestInto(tr *golden.Trace) {
 	tr.Record(cy, -1, "barrier_gen", uint64(p.Barrier.Generation()))
 	tr.Record(cy, -1, "barrier_arrivals", uint64(p.Barrier.Arrivals()))
 	tr.Record(cy, -1, "suppression_cycles", p.VPCM.SuppressionCycles())
-	tr.Record(cy, -1, "wall_ps", p.VPCM.WallPs())
+	// Frozen time is measured from the host wall clock (link congestion,
+	// solver lag in the pipelined loop), so it varies run to run; the digest
+	// pins only the emulation-derived physical time, which is deterministic.
+	tr.Record(cy, -1, "wall_ps", p.VPCM.EmulationWallPs())
 	DigestSnapshot(tr, p.Snapshot())
 }
 

@@ -502,12 +502,25 @@ type Snapshot struct {
 
 // Snapshot captures the current statistics.
 func (p *Platform) Snapshot() Snapshot {
-	s := Snapshot{
-		Cycle:  p.VPCM.Cycle(),
-		TimePs: p.VPCM.TimePs(),
-		FreqHz: p.VPCM.Frequency(),
-		Shared: p.Shared.Stats(),
-	}
+	var s Snapshot
+	p.SnapshotInto(&s)
+	return s
+}
+
+// SnapshotInto captures the current statistics into s, reusing its slices
+// and Bus/Noc allocations. After the first call on a given buffer it
+// allocates nothing, which is what the pipelined co-emulation loop needs on
+// its per-window hot path.
+func (p *Platform) SnapshotInto(s *Snapshot) {
+	s.Cycle = p.VPCM.Cycle()
+	s.TimePs = p.VPCM.TimePs()
+	s.FreqHz = p.VPCM.Frequency()
+	s.Shared = p.Shared.Stats()
+	s.Cores = s.Cores[:0]
+	s.ICaches = s.ICaches[:0]
+	s.DCaches = s.DCaches[:0]
+	s.L2s = s.L2s[:0]
+	s.Ctrls = s.Ctrls[:0]
 	for i, c := range p.Cores {
 		s.Cores = append(s.Cores, c.Stats())
 		if ic := p.Ctrls[i].ICache(); ic != nil {
@@ -526,14 +539,51 @@ func (p *Platform) Snapshot() Snapshot {
 		}
 	}
 	if p.Bus != nil {
-		b := p.Bus.Stats()
-		s.Bus = &b
+		if s.Bus == nil {
+			s.Bus = new(bus.Stats)
+		}
+		*s.Bus = p.Bus.Stats()
+	} else {
+		s.Bus = nil
 	}
 	if p.Net != nil {
-		n := p.Net.Stats()
-		s.Noc = &n
+		if s.Noc == nil {
+			s.Noc = new(noc.Stats)
+		}
+		*s.Noc = p.Net.Stats()
+	} else {
+		s.Noc = nil
 	}
-	return s
+}
+
+// CopyInto deep-copies the snapshot into dst, reusing dst's allocations the
+// same way SnapshotInto does.
+func (s *Snapshot) CopyInto(dst *Snapshot) {
+	dst.Cycle = s.Cycle
+	dst.TimePs = s.TimePs
+	dst.FreqHz = s.FreqHz
+	dst.Shared = s.Shared
+	dst.Cores = append(dst.Cores[:0], s.Cores...)
+	dst.ICaches = append(dst.ICaches[:0], s.ICaches...)
+	dst.DCaches = append(dst.DCaches[:0], s.DCaches...)
+	dst.L2s = append(dst.L2s[:0], s.L2s...)
+	dst.Ctrls = append(dst.Ctrls[:0], s.Ctrls...)
+	if s.Bus != nil {
+		if dst.Bus == nil {
+			dst.Bus = new(bus.Stats)
+		}
+		*dst.Bus = *s.Bus
+	} else {
+		dst.Bus = nil
+	}
+	if s.Noc != nil {
+		if dst.Noc == nil {
+			dst.Noc = new(noc.Stats)
+		}
+		*dst.Noc = *s.Noc
+	} else {
+		dst.Noc = nil
+	}
 }
 
 // TotalInstructions returns the committed instruction count across cores.

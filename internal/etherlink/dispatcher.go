@@ -64,6 +64,12 @@ type Dispatcher struct {
 	retries     atomic.Uint64
 
 	lastSendNs atomic.Int64 // wall clock of the last stats send, for RTT
+
+	// payloadBuf and eventBuf are scratch buffers reused across sends so
+	// the per-window hot path does not allocate payloads. The dispatcher is
+	// not safe for concurrent sends, so plain fields suffice.
+	payloadBuf []byte
+	eventBuf   []sniffer.Event
 }
 
 // NewDispatcher creates a dispatcher over the transport. drainPhysCycles is
@@ -163,7 +169,8 @@ func (d *Dispatcher) sendBackpressured(b []byte) error {
 // SendStats transmits one statistics window. On congestion the virtual
 // clock is frozen until the transport accepts the frame.
 func (d *Dispatcher) SendStats(s *Stats) error {
-	b, err := d.ep.nextFrame(MsgStats, s.MarshalPayload())
+	d.payloadBuf = s.AppendPayload(d.payloadBuf[:0])
+	b, err := d.ep.nextFrame(MsgStats, d.payloadBuf)
 	if err != nil {
 		return err
 	}
@@ -171,6 +178,24 @@ func (d *Dispatcher) SendStats(s *Stats) error {
 		return err
 	}
 	d.statsSent.Add(1)
+	d.lastSendNs.Store(time.Now().UnixNano())
+	return nil
+}
+
+// SendStatsBatch transmits several queued statistics windows in one
+// MsgStatsBatch frame (the pipelined loop's catch-up path). The host solves
+// the windows in order and answers with a single MsgTempBatch. The batch
+// must fit one frame: len(ws) <= MaxStatsBatch(components).
+func (d *Dispatcher) SendStatsBatch(sb *StatsBatch) error {
+	d.payloadBuf = sb.AppendPayload(d.payloadBuf[:0])
+	b, err := d.ep.nextFrame(MsgStatsBatch, d.payloadBuf)
+	if err != nil {
+		return err
+	}
+	if err := d.sendBackpressured(b); err != nil {
+		return err
+	}
+	d.statsSent.Add(uint64(len(sb.Windows)))
 	d.lastSendNs.Store(time.Now().UnixNano())
 	return nil
 }
@@ -183,10 +208,20 @@ func (d *Dispatcher) SendCtrl(op CtrlOp, arg uint64) error {
 // RecvTemps blocks until the next temperature message arrives, handling
 // interleaved control frames via the provided callback (which may be nil).
 func (d *Dispatcher) RecvTemps(onCtrl func(*Ctrl)) (*Temps, error) {
+	t := &Temps{}
+	if err := d.RecvTempsInto(t, onCtrl); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// RecvTempsInto is RecvTemps into a caller-owned message, reusing its
+// MilliK backing array when its capacity suffices.
+func (d *Dispatcher) RecvTempsInto(dst *Temps, onCtrl func(*Ctrl)) error {
 	for {
 		f, err := d.ep.Recv()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		switch f.Type {
 		case MsgTemp:
@@ -194,13 +229,46 @@ func (d *Dispatcher) RecvTemps(onCtrl func(*Ctrl)) (*Temps, error) {
 			if t0 := d.lastSendNs.Swap(0); t0 != 0 {
 				d.ep.stats.ObserveLatency(time.Duration(time.Now().UnixNano() - t0))
 			}
-			return UnmarshalTemps(f.Payload)
+			return UnmarshalTempsInto(dst, f.Payload)
 		case MsgCtrl:
 			d.ctrlRecv.Add(1)
 			if onCtrl != nil {
 				c, err := UnmarshalCtrl(f.Payload)
 				if err != nil {
-					return nil, err
+					return err
+				}
+				onCtrl(c)
+			}
+		default:
+			// Unknown frames are ignored, as real MAC endpoints do.
+		}
+	}
+}
+
+// RecvTempsBatchInto blocks until the next MsgTempBatch arrives (the answer
+// to SendStatsBatch), handling interleaved control frames like RecvTemps.
+func (d *Dispatcher) RecvTempsBatchInto(dst *TempsBatch, onCtrl func(*Ctrl)) error {
+	for {
+		f, err := d.ep.Recv()
+		if err != nil {
+			return err
+		}
+		switch f.Type {
+		case MsgTempBatch:
+			if t0 := d.lastSendNs.Swap(0); t0 != 0 {
+				d.ep.stats.ObserveLatency(time.Duration(time.Now().UnixNano() - t0))
+			}
+			if err := UnmarshalTempsBatchInto(dst, f.Payload); err != nil {
+				return err
+			}
+			d.tempsRecv.Add(uint64(len(dst.Windows)))
+			return nil
+		case MsgCtrl:
+			d.ctrlRecv.Add(1)
+			if onCtrl != nil {
+				c, err := UnmarshalCtrl(f.Payload)
+				if err != nil {
+					return err
 				}
 				onCtrl(c)
 			}
@@ -217,7 +285,10 @@ func (d *Dispatcher) RecvTemps(onCtrl func(*Ctrl)) (*Temps, error) {
 // frames.
 func (d *Dispatcher) PumpEvents(ring *sniffer.Ring) (int, error) {
 	total := 0
-	buf := make([]sniffer.Event, MaxEventsPerFrame)
+	if d.eventBuf == nil {
+		d.eventBuf = make([]sniffer.Event, MaxEventsPerFrame)
+	}
+	buf := d.eventBuf
 	for ring.Len() > 0 {
 		n := ring.Drain(buf)
 		if n == 0 {

@@ -49,6 +49,13 @@ const (
 	MsgAck                       // acknowledgement carrying the peer's last seq
 	MsgEvents                    // device -> host: exhaustive event log batch
 	MsgNack                      // either direction: resend request from Seq onward
+	// Batched variants let the pipelined co-emulation loop ship several
+	// queued sampling windows in one frame when the solver lags the
+	// emulator; the host steps them in order and answers with one
+	// MsgTempBatch. Solve order — and therefore temperature — is identical
+	// to per-window framing; only the frame count differs.
+	MsgStatsBatch // device -> host: several statistics windows
+	MsgTempBatch  // host -> device: per-cell temperatures for each window
 )
 
 // String returns the message type name.
@@ -66,6 +73,10 @@ func (t MsgType) String() string {
 		return "events"
 	case MsgNack:
 		return "nack"
+	case MsgStatsBatch:
+		return "stats-batch"
+	case MsgTempBatch:
+		return "temp-batch"
 	}
 	return fmt.Sprintf("msg(%d)", uint8(t))
 }

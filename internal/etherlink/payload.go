@@ -18,12 +18,26 @@ type Stats struct {
 
 // MarshalPayload serialises the statistics payload.
 func (s *Stats) MarshalPayload() []byte {
-	b := make([]byte, 8+8+2+4*len(s.PowerUW))
-	binary.LittleEndian.PutUint64(b[0:8], s.Cycle)
-	binary.LittleEndian.PutUint64(b[8:16], s.WindowPs)
-	binary.LittleEndian.PutUint16(b[16:18], uint16(len(s.PowerUW)))
+	return s.AppendPayload(nil)
+}
+
+// AppendPayload serialises the statistics payload onto b (reusing its
+// capacity) and returns the extended slice.
+func (s *Stats) AppendPayload(b []byte) []byte {
+	off := len(b)
+	n := 8 + 8 + 2 + 4*len(s.PowerUW)
+	if cap(b) < off+n {
+		nb := make([]byte, off+n, off+n)
+		copy(nb, b)
+		b = nb
+	} else {
+		b = b[:off+n]
+	}
+	binary.LittleEndian.PutUint64(b[off:], s.Cycle)
+	binary.LittleEndian.PutUint64(b[off+8:], s.WindowPs)
+	binary.LittleEndian.PutUint16(b[off+16:], uint16(len(s.PowerUW)))
 	for i, p := range s.PowerUW {
-		binary.LittleEndian.PutUint32(b[18+4*i:], p)
+		binary.LittleEndian.PutUint32(b[off+18+4*i:], p)
 	}
 	return b
 }
@@ -57,29 +71,57 @@ type Temps struct {
 
 // MarshalPayload serialises the temperature payload.
 func (t *Temps) MarshalPayload() []byte {
-	b := make([]byte, 8+2+4*len(t.MilliK))
-	binary.LittleEndian.PutUint64(b[0:8], t.TimePs)
-	binary.LittleEndian.PutUint16(b[8:10], uint16(len(t.MilliK)))
+	return t.AppendPayload(nil)
+}
+
+// AppendPayload serialises the temperature payload onto b (reusing its
+// capacity) and returns the extended slice.
+func (t *Temps) AppendPayload(b []byte) []byte {
+	off := len(b)
+	n := 8 + 2 + 4*len(t.MilliK)
+	if cap(b) < off+n {
+		nb := make([]byte, off+n)
+		copy(nb, b)
+		b = nb
+	} else {
+		b = b[:off+n]
+	}
+	binary.LittleEndian.PutUint64(b[off:], t.TimePs)
+	binary.LittleEndian.PutUint16(b[off+8:], uint16(len(t.MilliK)))
 	for i, v := range t.MilliK {
-		binary.LittleEndian.PutUint32(b[10+4*i:], v)
+		binary.LittleEndian.PutUint32(b[off+10+4*i:], v)
 	}
 	return b
 }
 
 // UnmarshalTemps parses a temperature payload.
 func UnmarshalTemps(b []byte) (*Temps, error) {
+	t := &Temps{}
+	if err := UnmarshalTempsInto(t, b); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// UnmarshalTempsInto parses a temperature payload into dst, reusing its
+// MilliK backing array when its capacity suffices.
+func UnmarshalTempsInto(dst *Temps, b []byte) error {
 	if len(b) < 10 {
-		return nil, fmt.Errorf("etherlink: temps payload too short (%d bytes)", len(b))
+		return fmt.Errorf("etherlink: temps payload too short (%d bytes)", len(b))
 	}
 	n := int(binary.LittleEndian.Uint16(b[8:10]))
 	if len(b) != 10+4*n {
-		return nil, fmt.Errorf("etherlink: temps payload length %d, want %d entries", len(b), n)
+		return fmt.Errorf("etherlink: temps payload length %d, want %d entries", len(b), n)
 	}
-	t := &Temps{TimePs: binary.LittleEndian.Uint64(b[0:8]), MilliK: make([]uint32, n)}
-	for i := range t.MilliK {
-		t.MilliK[i] = binary.LittleEndian.Uint32(b[10+4*i:])
+	dst.TimePs = binary.LittleEndian.Uint64(b[0:8])
+	if cap(dst.MilliK) < n {
+		dst.MilliK = make([]uint32, n)
 	}
-	return t, nil
+	dst.MilliK = dst.MilliK[:n]
+	for i := range dst.MilliK {
+		dst.MilliK[i] = binary.LittleEndian.Uint32(b[10+4*i:])
+	}
+	return nil
 }
 
 // Kelvin returns cell i's temperature in kelvin.
@@ -95,6 +137,180 @@ func TempsFromKelvin(timePs uint64, kelvin []float64) *Temps {
 		t.MilliK[i] = uint32(k*1000 + 0.5)
 	}
 	return t
+}
+
+// StatsBatch is the batched device-to-host statistics message: several
+// consecutive sampling windows in one frame. The pipelined loop batches
+// whatever windows are queued when the link becomes free; the host solves
+// them in order, so results are bit-identical to per-window framing.
+type StatsBatch struct {
+	Windows []Stats
+}
+
+// statsEntryBytes returns the wire size of one batched stats window.
+func statsEntryBytes(components int) int { return 8 + 8 + 2 + 4*components }
+
+// MaxStatsBatch returns how many windows of the given component count fit
+// one MAC frame.
+func MaxStatsBatch(components int) int {
+	n := (MaxPayload - 2) / statsEntryBytes(components)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// AppendPayload serialises the batch onto b (reusing its capacity) and
+// returns the extended slice.
+func (sb *StatsBatch) AppendPayload(b []byte) []byte {
+	var u64 [8]byte
+	var u16 [2]byte
+	binary.LittleEndian.PutUint16(u16[:], uint16(len(sb.Windows)))
+	b = append(b, u16[:]...)
+	for i := range sb.Windows {
+		s := &sb.Windows[i]
+		binary.LittleEndian.PutUint64(u64[:], s.Cycle)
+		b = append(b, u64[:]...)
+		binary.LittleEndian.PutUint64(u64[:], s.WindowPs)
+		b = append(b, u64[:]...)
+		binary.LittleEndian.PutUint16(u16[:], uint16(len(s.PowerUW)))
+		b = append(b, u16[:]...)
+		for _, p := range s.PowerUW {
+			binary.LittleEndian.PutUint32(u64[:4], p)
+			b = append(b, u64[:4]...)
+		}
+	}
+	return b
+}
+
+// MarshalPayload serialises the batch payload.
+func (sb *StatsBatch) MarshalPayload() []byte { return sb.AppendPayload(nil) }
+
+// UnmarshalStatsBatchInto parses a batch payload into dst, reusing its
+// Windows and per-window PowerUW backing arrays when capacities suffice.
+func UnmarshalStatsBatchInto(dst *StatsBatch, b []byte) error {
+	if len(b) < 2 {
+		return fmt.Errorf("etherlink: stats-batch payload too short (%d bytes)", len(b))
+	}
+	n := int(binary.LittleEndian.Uint16(b[0:2]))
+	if cap(dst.Windows) < n {
+		dst.Windows = append(dst.Windows[:cap(dst.Windows)],
+			make([]Stats, n-cap(dst.Windows))...)
+	}
+	dst.Windows = dst.Windows[:n]
+	off := 2
+	for i := 0; i < n; i++ {
+		if len(b) < off+18 {
+			return fmt.Errorf("etherlink: stats-batch window %d truncated at %d bytes", i, len(b))
+		}
+		w := &dst.Windows[i]
+		w.Cycle = binary.LittleEndian.Uint64(b[off:])
+		w.WindowPs = binary.LittleEndian.Uint64(b[off+8:])
+		c := int(binary.LittleEndian.Uint16(b[off+16:]))
+		off += 18
+		if len(b) < off+4*c {
+			return fmt.Errorf("etherlink: stats-batch window %d wants %d entries, payload ends at %d", i, c, len(b))
+		}
+		if cap(w.PowerUW) < c {
+			w.PowerUW = make([]uint32, c)
+		}
+		w.PowerUW = w.PowerUW[:c]
+		for j := 0; j < c; j++ {
+			w.PowerUW[j] = binary.LittleEndian.Uint32(b[off+4*j:])
+		}
+		off += 4 * c
+	}
+	if off != len(b) {
+		return fmt.Errorf("etherlink: stats-batch payload has %d trailing bytes", len(b)-off)
+	}
+	return nil
+}
+
+// UnmarshalStatsBatch parses a batch payload.
+func UnmarshalStatsBatch(b []byte) (*StatsBatch, error) {
+	sb := &StatsBatch{}
+	if err := UnmarshalStatsBatchInto(sb, b); err != nil {
+		return nil, err
+	}
+	return sb, nil
+}
+
+// TempsBatch is the batched host-to-device temperature message answering a
+// StatsBatch: one Temps entry per solved window, in order.
+type TempsBatch struct {
+	Windows []Temps
+}
+
+// AppendPayload serialises the batch onto b (reusing its capacity) and
+// returns the extended slice.
+func (tb *TempsBatch) AppendPayload(b []byte) []byte {
+	var u64 [8]byte
+	var u16 [2]byte
+	binary.LittleEndian.PutUint16(u16[:], uint16(len(tb.Windows)))
+	b = append(b, u16[:]...)
+	for i := range tb.Windows {
+		t := &tb.Windows[i]
+		binary.LittleEndian.PutUint64(u64[:], t.TimePs)
+		b = append(b, u64[:]...)
+		binary.LittleEndian.PutUint16(u16[:], uint16(len(t.MilliK)))
+		b = append(b, u16[:]...)
+		for _, v := range t.MilliK {
+			binary.LittleEndian.PutUint32(u64[:4], v)
+			b = append(b, u64[:4]...)
+		}
+	}
+	return b
+}
+
+// MarshalPayload serialises the batch payload.
+func (tb *TempsBatch) MarshalPayload() []byte { return tb.AppendPayload(nil) }
+
+// UnmarshalTempsBatchInto parses a batch payload into dst, reusing its
+// Windows and per-window MilliK backing arrays when capacities suffice.
+func UnmarshalTempsBatchInto(dst *TempsBatch, b []byte) error {
+	if len(b) < 2 {
+		return fmt.Errorf("etherlink: temp-batch payload too short (%d bytes)", len(b))
+	}
+	n := int(binary.LittleEndian.Uint16(b[0:2]))
+	if cap(dst.Windows) < n {
+		dst.Windows = append(dst.Windows[:cap(dst.Windows)],
+			make([]Temps, n-cap(dst.Windows))...)
+	}
+	dst.Windows = dst.Windows[:n]
+	off := 2
+	for i := 0; i < n; i++ {
+		if len(b) < off+10 {
+			return fmt.Errorf("etherlink: temp-batch window %d truncated at %d bytes", i, len(b))
+		}
+		t := &dst.Windows[i]
+		t.TimePs = binary.LittleEndian.Uint64(b[off:])
+		c := int(binary.LittleEndian.Uint16(b[off+8:]))
+		off += 10
+		if len(b) < off+4*c {
+			return fmt.Errorf("etherlink: temp-batch window %d wants %d entries, payload ends at %d", i, c, len(b))
+		}
+		if cap(t.MilliK) < c {
+			t.MilliK = make([]uint32, c)
+		}
+		t.MilliK = t.MilliK[:c]
+		for j := 0; j < c; j++ {
+			t.MilliK[j] = binary.LittleEndian.Uint32(b[off+4*j:])
+		}
+		off += 4 * c
+	}
+	if off != len(b) {
+		return fmt.Errorf("etherlink: temp-batch payload has %d trailing bytes", len(b)-off)
+	}
+	return nil
+}
+
+// UnmarshalTempsBatch parses a batch payload.
+func UnmarshalTempsBatch(b []byte) (*TempsBatch, error) {
+	tb := &TempsBatch{}
+	if err := UnmarshalTempsBatchInto(tb, b); err != nil {
+		return nil, err
+	}
+	return tb, nil
 }
 
 // CtrlOp is a control operation code.

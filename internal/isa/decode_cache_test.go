@@ -1,0 +1,61 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeCacheMatchesDecode hammers the direct-mapped table with a
+// word stream wide enough to force evictions and checks every lookup
+// against the pure decoder.
+func TestDecodeCacheMatchesDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var c DecodeCache
+	words := make([]uint32, 4*DecodeCacheSize)
+	for i := range words {
+		words[i] = rng.Uint32()
+	}
+	// Two interleaved passes: the second pass re-touches evicted words.
+	for pass := 0; pass < 2; pass++ {
+		for _, w := range words {
+			if got, want := c.Decode(w), Decode(w); got != want {
+				t.Fatalf("pass %d: cached decode of %#08x = %+v, want %+v", pass, w, got, want)
+			}
+		}
+	}
+}
+
+// TestDecodeCacheZeroWord pins the zero-value trick the cache relies on: an
+// empty slot (tag 0, zero Instr) must already be a correct hit for word 0.
+func TestDecodeCacheZeroWord(t *testing.T) {
+	if Decode(0) != (Instr{}) {
+		t.Fatalf("Decode(0) = %+v, want the zero Instr; the zero-value DecodeCache depends on this", Decode(0))
+	}
+	var c DecodeCache
+	if got := c.Decode(0); got != (Instr{}) {
+		t.Fatalf("cold cache Decode(0) = %+v, want zero Instr", got)
+	}
+}
+
+// TestDecodeCacheCollision drives two words that map to the same slot and
+// checks the tag comparison keeps them apart.
+func TestDecodeCacheCollision(t *testing.T) {
+	index := func(w uint32) uint32 { return (w * 0x9E3779B1) >> (32 - DecodeCacheBits) }
+	w1 := uint32(0x04201234) // addi-class word
+	var w2 uint32
+	for w := uint32(1); ; w++ {
+		if w != w1 && index(w) == index(w1) {
+			w2 = w
+			break
+		}
+	}
+	var c DecodeCache
+	for i := 0; i < 3; i++ {
+		if got, want := c.Decode(w1), Decode(w1); got != want {
+			t.Fatalf("w1 decode = %+v, want %+v", got, want)
+		}
+		if got, want := c.Decode(w2), Decode(w2); got != want {
+			t.Fatalf("w2 decode = %+v, want %+v", got, want)
+		}
+	}
+}

@@ -501,7 +501,18 @@ func (m *Model) Temp(i int) float64 { return m.t[i] }
 
 // Temps copies the bottom-surface temperatures into a fresh slice.
 func (m *Model) Temps() []float64 {
-	out := make([]float64, m.nSi2D)
+	return m.TempsInto(nil)
+}
+
+// TempsInto copies the bottom-surface temperatures into out, growing it
+// only when its capacity is insufficient. Callers that hold on to a buffer
+// across windows (the pipelined co-emulation loop) pay zero allocations in
+// steady state.
+func (m *Model) TempsInto(out []float64) []float64 {
+	if cap(out) < m.nSi2D {
+		out = make([]float64, m.nSi2D)
+	}
+	out = out[:m.nSi2D]
 	copy(out, m.t[:m.nSi2D])
 	return out
 }

@@ -31,6 +31,13 @@ import (
 // the 10 ms sampling granularity of the framework.
 const picosPerSec = 1_000_000_000_000
 
+// ThermalLagSource is the frozen-time attribution used by the pipelined
+// co-emulation loop when the bounded stats hand-off queue fills because the
+// thermal solver (or the link behind it) cannot keep up: the virtual clock
+// freezes instead of letting windows pile up, exactly like the Ethernet
+// congestion freeze of Section 4.2.
+const ThermalLagSource = "thermal-lag"
+
 // FreqChange records one DFS event.
 type FreqChange struct {
 	Cycle  uint64 // virtual platform cycle of the change
@@ -115,6 +122,19 @@ func (v *VPCM) WallPs() uint64 {
 	v.freezeMu.Lock()
 	defer v.freezeMu.Unlock()
 	return v.wallPs + v.frozenPs
+}
+
+// EmulationWallPs returns the physical picoseconds attributable to the
+// emulation itself: virtual cycles clocked at the physical frequency plus
+// memory-suppression periods, excluding frozen time. Freeze durations are
+// measured from the host wall clock (link congestion, solver lag), so they
+// vary run to run; everything in EmulationWallPs is a pure function of the
+// emulated execution and is therefore bit-reproducible. Golden digests pin
+// this value, never WallPs.
+func (v *VPCM) EmulationWallPs() uint64 {
+	v.suppMu.Lock()
+	defer v.suppMu.Unlock()
+	return v.wallPs
 }
 
 // Advance clocks the virtual platform by n cycles at the current virtual
