@@ -1,5 +1,7 @@
-// Command benchgate enforces the closed-loop performance contract on a
-// `go test -json` benchmark stream (BENCH_loop.json from CI):
+// Command benchgate enforces the benchmark performance contracts on
+// `go test -json` benchmark streams recorded by CI.
+//
+// Closed-loop mode (default) checks BENCH_loop.json:
 //
 //   - BenchmarkClosedLoopPipelinedLink must beat BenchmarkClosedLoopSerialLink
 //     in windows/s: pipelining exists to hide link latency, and that win is
@@ -10,15 +12,24 @@
 //     (the pipeline's bookkeeping overhead budget).
 //   - The pipelined steady state must not allocate per window.
 //
+// Emulation-kernel mode (-emu) compares a fresh BENCH_emu.json against the
+// committed baseline: every BenchmarkRunSerial/BenchmarkRunParallel variant
+// present in the baseline must still exist and must retain at least -ratio
+// of its cycles/s (the slack absorbs runner noise). Kernel PRs may only
+// make these numbers go up; their golden digests prove nothing else moved.
+//
 // Usage: benchgate [BENCH_loop.json]
+//        benchgate -emu [-ratio 0.8] NEW_BENCH_emu.json BASELINE_BENCH_emu.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -32,29 +43,33 @@ type event struct {
 // metrics of one benchmark result line.
 type metrics struct {
 	windowsPerS float64
+	cyclesPerS  float64
 	allocsPerW  float64
 	hasAllocs   bool
 	maxprocs    float64
 }
 
-var resultLine = regexp.MustCompile(`^(BenchmarkClosedLoop\w+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+var (
+	loopResultLine = regexp.MustCompile(`^(BenchmarkClosedLoop\w+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+	emuResultLine  = regexp.MustCompile(`^(BenchmarkRun(?:Serial|Parallel)\S*?)(?:-\d+)?\s+\d+\s+(.*)$`)
+)
 
-func parse(path string) (map[string]metrics, error) {
+// readText reassembles the raw test output of a `go test -json` stream:
+// test2json splits benchmark result lines across events (name first,
+// numbers later). Plain `go test -bench` output passes through untouched.
+func readText(path string) (string, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return "", err
 	}
 	defer f.Close()
 
-	// Reassemble the raw test output: test2json splits benchmark result
-	// lines across events (name first, numbers later).
 	var text strings.Builder
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		var ev event
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-			// Tolerate plain `go test -bench` output as input too.
 			text.WriteString(sc.Text())
 			text.WriteByte('\n')
 			continue
@@ -64,12 +79,19 @@ func parse(path string) (map[string]metrics, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return text.String(), nil
+}
+
+func parse(path string, result *regexp.Regexp) (map[string]metrics, error) {
+	text, err := readText(path)
+	if err != nil {
 		return nil, err
 	}
-
 	out := make(map[string]metrics)
-	for _, line := range strings.Split(text.String(), "\n") {
-		m := resultLine.FindStringSubmatch(strings.TrimSpace(line))
+	for _, line := range strings.Split(text, "\n") {
+		m := result.FindStringSubmatch(strings.TrimSpace(line))
 		if m == nil {
 			continue
 		}
@@ -83,6 +105,8 @@ func parse(path string) (map[string]metrics, error) {
 			switch fields[i+1] {
 			case "windows/s":
 				mt.windowsPerS = v
+			case "cycles/s":
+				mt.cyclesPerS = v
 			case "allocs/window":
 				mt.allocsPerW = v
 				mt.hasAllocs = true
@@ -95,15 +119,23 @@ func parse(path string) (map[string]metrics, error) {
 	return out, nil
 }
 
-func main() {
-	path := "BENCH_loop.json"
-	if len(os.Args) > 1 {
-		path = os.Args[1]
+// checker prints one ok/FAIL line per contract and remembers any failure.
+type checker struct{ fail int }
+
+func (c *checker) check(ok bool, format string, args ...any) {
+	status := "ok  "
+	if !ok {
+		status = "FAIL"
+		c.fail = 1
 	}
-	res, err := parse(path)
+	fmt.Printf("%s %s\n", status, fmt.Sprintf(format, args...))
+}
+
+func gateLoop(path string) int {
+	res, err := parse(path, loopResultLine)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 
 	get := func(name string) metrics {
@@ -119,36 +151,95 @@ func main() {
 	serialLink := get("BenchmarkClosedLoopSerialLink")
 	pipeLink := get("BenchmarkClosedLoopPipelinedLink")
 
-	fail := 0
-	check := func(ok bool, format string, args ...any) {
-		status := "ok  "
-		if !ok {
-			status = "FAIL"
-			fail = 1
-		}
-		fmt.Printf("%s %s\n", status, fmt.Sprintf(format, args...))
-	}
-
-	check(pipeLink.windowsPerS > serialLink.windowsPerS,
+	var c checker
+	c.check(pipeLink.windowsPerS > serialLink.windowsPerS,
 		"link: pipelined %.1f windows/s vs serial %.1f windows/s",
 		pipeLink.windowsPerS, serialLink.windowsPerS)
 
 	if serial.maxprocs > 1 {
-		check(pipe.windowsPerS > serial.windowsPerS,
+		c.check(pipe.windowsPerS > serial.windowsPerS,
 			"in-process (%d cpus): pipelined %.1f windows/s vs serial %.1f windows/s",
 			int(serial.maxprocs), pipe.windowsPerS, serial.windowsPerS)
 	} else {
-		check(pipe.windowsPerS >= 0.9*serial.windowsPerS,
+		c.check(pipe.windowsPerS >= 0.9*serial.windowsPerS,
 			"in-process (1 cpu, parity gate): pipelined %.1f windows/s vs serial %.1f windows/s",
 			pipe.windowsPerS, serial.windowsPerS)
 	}
 
 	if pipe.hasAllocs {
-		check(pipe.allocsPerW < 1,
+		c.check(pipe.allocsPerW < 1,
 			"pipelined steady state: %.2f allocs/window", pipe.allocsPerW)
 	} else {
-		check(false, "pipelined allocs/window metric missing")
+		c.check(false, "pipelined allocs/window metric missing")
+	}
+	return c.fail
+}
+
+func gateEmu(newPath, basePath string, ratio float64) int {
+	fresh, err := parse(newPath, emuResultLine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	base, err := parse(basePath, emuResultLine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	if len(base) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no kernel benchmark results in baseline %s\n", basePath)
+		return 2
 	}
 
-	os.Exit(fail)
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var c checker
+	for _, name := range names {
+		old := base[name]
+		got, ok := fresh[name]
+		if !ok || got.cyclesPerS == 0 {
+			c.check(false, "%s: present in baseline but missing from %s", name, newPath)
+			continue
+		}
+		c.check(got.cyclesPerS >= ratio*old.cyclesPerS,
+			"%s: %.3g cycles/s vs baseline %.3g (floor %.0f%%)",
+			name, got.cyclesPerS, old.cyclesPerS, ratio*100)
+	}
+	// Variants that exist only in the fresh run are new benchmarks: report
+	// them so the baseline gets refreshed, but do not fail.
+	extra := make([]string, 0)
+	for name := range fresh {
+		if _, ok := base[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Printf("new  %s: %.3g cycles/s (not in baseline)\n", name, fresh[name].cyclesPerS)
+	}
+	return c.fail
+}
+
+func main() {
+	emu := flag.Bool("emu", false, "gate emulation-kernel cycles/s against a baseline (args: NEW BASELINE)")
+	ratio := flag.Float64("ratio", 0.8, "fraction of baseline cycles/s each kernel benchmark must retain (-emu)")
+	flag.Parse()
+
+	if *emu {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchgate -emu [-ratio R] NEW_BENCH_emu.json BASELINE_BENCH_emu.json")
+			os.Exit(2)
+		}
+		os.Exit(gateEmu(flag.Arg(0), flag.Arg(1), *ratio))
+	}
+
+	path := "BENCH_loop.json"
+	if flag.NArg() > 0 {
+		path = flag.Arg(0)
+	}
+	os.Exit(gateLoop(path))
 }

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"thermemu"
 	"thermemu/internal/core"
@@ -52,14 +54,50 @@ func main() {
 		digest   = flag.Bool("digest", false, "accumulate and print the run's golden conformance digest")
 		vcdPath  = flag.String("vcd", "", "write the run as a VCD waveform to this path")
 		jsonPath = flag.String("json", "", "write the run's samples as JSON to this path")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	)
 	flag.Parse()
-	if err := run(*cores, *workload, *n, *iters, *size, *ic, *nocSpec, *freqMHz, *withTM,
-		*windowMs, *pipeline, *tscale, *cells, *workers, *csvPath, *hostAddr, *fault, *faultSeed,
-		*redial, *report, *digest, *vcdPath, *jsonPath); err != nil {
+	if err := profiled(*cpuProf, *memProf, func() error {
+		return run(*cores, *workload, *n, *iters, *size, *ic, *nocSpec, *freqMHz, *withTM,
+			*windowMs, *pipeline, *tscale, *cells, *workers, *csvPath, *hostAddr, *fault, *faultSeed,
+			*redial, *report, *digest, *vcdPath, *jsonPath)
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "thermemu:", err)
 		os.Exit(1)
 	}
+}
+
+// profiled runs body under the requested pprof collectors. The CPU profile
+// covers the whole run; the heap profile is written after a final GC so it
+// reflects live steady-state memory, not garbage.
+func profiled(cpuPath, memPath string, body func() error) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memPath != "" {
+		defer func() {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "thermemu:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "thermemu:", err)
+			}
+		}()
+	}
+	return body()
 }
 
 func run(cores int, workload string, n, iters, size int, ic, nocSpec string, freqMHz int,

@@ -15,6 +15,7 @@ import (
 
 	"thermemu/internal/isa"
 	"thermemu/internal/mem"
+	"thermemu/internal/sniffer"
 )
 
 // Kind identifies a core preset. The framework ports several core types
@@ -132,6 +133,11 @@ type Core struct {
 	// Decode is pure, so the table never needs invalidation; it is per-core
 	// so the parallel kernel's goroutines do not share it.
 	dec isa.DecodeCache
+	// act, when attached, mirrors every charged cycle into a count-logging
+	// activity sniffer. It sits in Step/AccrueStall/AccrueIdle — the single
+	// choke point all stepping kernels flow through — so span-accrued and
+	// per-cycle stepping produce identical sniffer counters.
+	act *sniffer.Activity
 }
 
 // New creates a core attached to its memory controller. The VLIW2 preset
@@ -220,8 +226,8 @@ func (c *Core) Reset(entry uint32) {
 }
 
 // AccrueIdle charges n idle cycles to a halted core without stepping it.
-// The parallel kernel uses it to batch the idle time of cores that halted
-// before the end of a chunk, so their statistics match cycle-by-cycle serial
+// The stepping kernels use it to batch the idle time of cores that halted
+// before the end of a span, so their statistics match cycle-by-cycle serial
 // stepping. n == 0 leaves the core's observed state untouched.
 func (c *Core) AccrueIdle(n uint64) {
 	if n == 0 {
@@ -229,23 +235,83 @@ func (c *Core) AccrueIdle(n uint64) {
 	}
 	c.state = Idle
 	c.stats.IdleCycles += n
+	if c.act != nil {
+		c.act.Accrue(sniffer.ModeIdle, n)
+	}
 }
+
+// AccrueStall charges n stalled cycles in one step, consuming n cycles of
+// the outstanding memory-stall countdown. It is the bulk equivalent of n
+// consecutive Step calls on a stalled core: those steps only decrement the
+// countdown and bump the stall counter, so skip-ahead kernels may jump the
+// span and settle the books here without perturbing any other state.
+// n == 0 leaves the core's observed state untouched; n beyond the
+// outstanding stall is a kernel bug and panics.
+func (c *Core) AccrueStall(n uint64) {
+	if n == 0 {
+		return
+	}
+	if n > c.stall {
+		panic(fmt.Sprintf("cpu: %s: AccrueStall(%d) exceeds outstanding stall %d", c.name, n, c.stall))
+	}
+	c.stall -= n
+	c.state = Stalled
+	c.stats.StallCycles += n
+	if c.act != nil {
+		c.act.Accrue(sniffer.ModeStalled, n)
+	}
+}
+
+// StallRemaining returns the outstanding memory-stall cycles: the number of
+// consecutive future Step calls that would find the core stalled. 0 means
+// the core issues an instruction on its next step (unless halted).
+func (c *Core) StallRemaining() uint64 { return c.stall }
+
+// WakeNever is the wake cycle of a halted core: no future step can make it
+// issue an instruction again.
+const WakeNever = ^uint64(0)
+
+// WakeCycle returns the next cycle, at or after now, on which the core will
+// issue an instruction — the end of its memory-stall countdown, or WakeNever
+// once halted or faulted. Cycles before the wake cycle are pure stall time
+// and may be charged in bulk with AccrueStall.
+func (c *Core) WakeCycle(now uint64) uint64 {
+	if c.Halted() {
+		return WakeNever
+	}
+	return now + c.stall
+}
+
+// AttachActivity mirrors the core's per-mode cycle accounting into a
+// count-logging activity sniffer (nil detaches). Attached at the core
+// rather than a kernel so every stepping path — per-cycle, skip-ahead,
+// parallel chunks — feeds the same counters identically.
+func (c *Core) AttachActivity(a *sniffer.Activity) { c.act = a }
 
 // Step advances the core by one clock cycle at platform cycle now.
 func (c *Core) Step(now uint64) {
 	if c.Halted() {
 		c.state = Idle
 		c.stats.IdleCycles++
+		if c.act != nil {
+			c.act.Accrue(sniffer.ModeIdle, 1)
+		}
 		return
 	}
 	if c.stall > 0 {
 		c.stall--
 		c.state = Stalled
 		c.stats.StallCycles++
+		if c.act != nil {
+			c.act.Accrue(sniffer.ModeStalled, 1)
+		}
 		return
 	}
 	c.state = Active
 	c.stats.ActiveCycles++
+	if c.act != nil {
+		c.act.Accrue(sniffer.ModeActive, 1)
+	}
 	w, fstall, err := c.ctrl.Fetch(now, c.pc)
 	if err != nil {
 		c.fault = err

@@ -1,10 +1,14 @@
 package emu_test
 
 // Kernel throughput baseline: emulated cycles per host second for the
-// serial and the deterministic parallel kernel on the Table 3 matrix
-// workload. CI records the output as BENCH_emu.json so future kernel PRs
-// can prove they changed nothing but speed (their golden digests must not
-// move; these numbers should).
+// serial and the deterministic parallel kernel, on the Table 3 matrix
+// workload (compute-bound: cores run from private memory, little to skip)
+// and on the MEMBOUND streaming workload (stall-bound: uncached shared
+// loads, the case the skip-ahead kernel accelerates). CI records the output
+// as BENCH_emu.json and cmd/benchgate enforces no cycles/s regression
+// against the committed baseline, so future kernel PRs can prove they
+// changed nothing but speed (their golden digests must not move; these
+// numbers should only go up).
 
 import (
 	"fmt"
@@ -16,12 +20,25 @@ import (
 
 const benchMaxCycles = 50_000_000
 
-func benchPlatform(b *testing.B, cores int, parallel bool) (*emu.Platform, *workloads.Spec) {
+func benchSpec(b *testing.B, stall bool, cores int) *workloads.Spec {
 	b.Helper()
-	spec, err := workloads.Matrix(cores, 16, 8, 64)
+	var (
+		spec *workloads.Spec
+		err  error
+	)
+	if stall {
+		spec, err = workloads.MemBound(cores, 2048, 8)
+	} else {
+		spec, err = workloads.Matrix(cores, 16, 8, 64)
+	}
 	if err != nil {
 		b.Fatal(err)
 	}
+	return spec
+}
+
+func benchPlatform(b *testing.B, spec *workloads.Spec, cores int, parallel bool) *emu.Platform {
+	b.Helper()
 	cfg := emu.DefaultConfig(cores)
 	cfg.Parallel = parallel
 	p := emu.MustNew(cfg)
@@ -33,14 +50,15 @@ func benchPlatform(b *testing.B, cores int, parallel bool) (*emu.Platform, *work
 	for _, blk := range spec.Shared {
 		p.WriteShared(blk.Addr, blk.Data)
 	}
-	return p, spec
+	return p
 }
 
-func benchKernel(b *testing.B, cores int, parallel bool) {
+func benchKernel(b *testing.B, stall bool, cores int, parallel bool) {
+	spec := benchSpec(b, stall, cores)
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		p, spec := benchPlatform(b, cores, parallel)
+		p := benchPlatform(b, spec, cores, parallel)
 		b.StartTimer()
 		var (
 			cyc  uint64
@@ -62,7 +80,12 @@ func benchKernel(b *testing.B, cores int, parallel bool) {
 func BenchmarkRunSerial(b *testing.B) {
 	for _, cores := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
-			benchKernel(b, cores, false)
+			benchKernel(b, false, cores, false)
+		})
+	}
+	for _, cores := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("stall/cores=%d", cores), func(b *testing.B) {
+			benchKernel(b, true, cores, false)
 		})
 	}
 }
@@ -70,7 +93,12 @@ func BenchmarkRunSerial(b *testing.B) {
 func BenchmarkRunParallel(b *testing.B) {
 	for _, cores := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
-			benchKernel(b, cores, true)
+			benchKernel(b, false, cores, true)
+		})
+	}
+	for _, cores := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("stall/cores=%d", cores), func(b *testing.B) {
+			benchKernel(b, true, cores, true)
 		})
 	}
 }

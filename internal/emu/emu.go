@@ -240,6 +240,14 @@ type Platform struct {
 	OnBufferFull func() bool
 
 	sched *scheduler // shared-path arbiter, built only with Config.Parallel
+
+	// Skip-ahead kernel state: per-core wake cycles and idle-span origins
+	// (reused across spans to keep Step/Run allocation-free) plus telemetry.
+	wake     []uint64
+	idleFrom []uint64
+	skip     SkipStats
+
+	acts []*sniffer.Activity // per-core activity sniffers, when attached
 }
 
 // New builds a platform from cfg.
@@ -410,6 +418,26 @@ func MustNew(cfg Config) *Platform {
 	return p
 }
 
+// AttachActivitySniffers attaches one count-logging activity sniffer per
+// core (named activityN, registered with the hub so emulated software can
+// toggle them) and returns the sniffers indexed by core. The attachment
+// point is cpu.Core's accounting choke point, so per-cycle, skip-ahead and
+// parallel stepping all feed the counters identically. Idempotent: repeat
+// calls return the already-attached sniffers.
+func (p *Platform) AttachActivitySniffers() []*sniffer.Activity {
+	if p.acts != nil {
+		return p.acts
+	}
+	p.acts = make([]*sniffer.Activity, len(p.Cores))
+	for i, c := range p.Cores {
+		a := sniffer.NewActivity(fmt.Sprintf("activity%d", i))
+		p.Hub.Register(a)
+		c.AttachActivity(a)
+		p.acts[i] = a
+	}
+	return p.acts
+}
+
 // LoadProgram writes an assembled image into core's private memory and
 // points the core at its entry. Different binaries per core are supported,
 // as with the EDK loader in the paper.
@@ -439,7 +467,9 @@ func (p *Platform) ReadSharedWord(offset uint32) uint32 {
 	return p.Shared.LoadWord(offset)
 }
 
-// StepOne advances the platform by exactly one virtual cycle.
+// StepOne advances the platform by exactly one virtual cycle, sweeping
+// every core. It is the per-cycle reference kernel the skip-ahead kernel is
+// tested against; Step/Run are strictly faster and bit-identical.
 func (p *Platform) StepOne() {
 	now := p.VPCM.Cycle()
 	for _, c := range p.Cores {
@@ -448,20 +478,182 @@ func (p *Platform) StepOne() {
 	p.VPCM.Advance(1)
 }
 
+// SkipStats is the skip-ahead kernel's telemetry: how much per-cycle work
+// the event-driven stepping avoided.
+type SkipStats struct {
+	// EventCycles counts cycles on which at least one core was swept by
+	// the serial skip-ahead kernel (and the single-core parallel fast
+	// path; multi-core parallel chunks keep no per-step counts).
+	EventCycles uint64
+	// SkippedCycles counts core-cycles settled in bulk — stall/idle spans
+	// charged by accrual instead of per-cycle Step calls. Serial spans and
+	// parallel chunks both contribute.
+	SkippedCycles uint64
+	// CoreSteps counts individual core Step calls executed by the serial
+	// kernel and the single-core parallel fast path.
+	CoreSteps uint64
+}
+
+// SkipStats returns the cumulative skip-ahead telemetry.
+func (p *Platform) SkipStats() SkipStats { return p.skip }
+
+// icNextEvent returns the interconnect's next in-flight-transaction event
+// after now — the cycle its busy horizon frees — and whether one exists.
+// Interconnect timing is settled at access time (the initiating core's
+// stall countdown already covers the transaction), so this is a jump bound
+// for the event kernel, never a correctness requirement.
+func (p *Platform) icNextEvent(now uint64) (uint64, bool) {
+	if p.Bus != nil {
+		return p.Bus.NextEvent(now)
+	}
+	if p.Net != nil {
+		return p.Net.NextEvent(now)
+	}
+	return 0, false
+}
+
+// NextEventCycle returns the earliest cycle after now at which the platform
+// can do anything: the minimum of every live core's wake cycle and the
+// interconnect's in-flight-transaction horizon. It returns cpu.WakeNever
+// when every core has halted and no transaction is in flight.
+func (p *Platform) NextEventCycle(now uint64) uint64 {
+	next := uint64(cpu.WakeNever)
+	for _, c := range p.Cores {
+		if w := c.WakeCycle(now); w < next {
+			next = w
+		}
+	}
+	if e, ok := p.icNextEvent(now); ok && e < next {
+		next = e
+	}
+	return next
+}
+
 // Step advances the platform by n cycles (or until every core halts).
 func (p *Platform) Step(n uint64) {
-	for i := uint64(0); i < n && !p.AllHalted(); i++ {
-		p.StepOne()
-	}
+	p.stepSpan(p.VPCM.Cycle() + n)
 }
 
 // Run executes until every core halts or maxCycles elapse. It returns the
 // cycle count at which it stopped and whether all cores halted.
 func (p *Platform) Run(maxCycles uint64) (uint64, bool) {
-	for p.VPCM.Cycle() < maxCycles && !p.AllHalted() {
-		p.StepOne()
+	if p.VPCM.Cycle() < maxCycles {
+		p.stepSpan(maxCycles)
 	}
 	return p.VPCM.Cycle(), p.AllHalted()
+}
+
+// stepSpan advances virtual time to limit (exclusive) — or to one cycle
+// past the last core's halt, whichever comes first — with the event-driven
+// skip-ahead kernel.
+//
+// Instead of sweeping every core every cycle, the kernel keeps one wake
+// cycle per core: the next cycle on which that core issues an instruction
+// (halted = never). Each iteration jumps straight to the minimum wake — one
+// O(cores) scan per *event*, not per cycle — and steps only the cores due
+// there, in core-ID order, exactly as the per-cycle sweep would reach them.
+// The jumped span is pure stall/idle time: a stalled core's Step only
+// decrements its countdown and bumps its stall counter, and a halted core's
+// Step only bumps its idle counter, so those cycles are settled in bulk via
+// cpu.AccrueStall/AccrueIdle when the core next wakes or when the span ends.
+// Live cores are tracked as a count updated on halt transitions, so nothing
+// scans for AllHalted mid-span. The result is bit-identical to per-cycle
+// stepping — same counters, event logs, VPCM time and architectural state —
+// which the golden digests and the differential matrix enforce.
+func (p *Platform) stepSpan(limit uint64) {
+	start := p.VPCM.Cycle()
+	if start >= limit {
+		return
+	}
+	if cap(p.wake) < len(p.Cores) {
+		p.wake = make([]uint64, len(p.Cores))
+		p.idleFrom = make([]uint64, len(p.Cores))
+	}
+	wake := p.wake[:len(p.Cores)]
+	idleFrom := p.idleFrom[:len(p.Cores)]
+
+	// Entry state: cores may have been reset, loaded or stepped elsewhere
+	// since the last span, so the wake list is rebuilt each call.
+	live := 0
+	for i, c := range p.Cores {
+		if c.Halted() {
+			wake[i] = cpu.WakeNever
+			idleFrom[i] = start
+			continue
+		}
+		live++
+		wake[i] = c.WakeCycle(start)
+	}
+
+	cyc := start
+	for live > 0 && cyc < limit {
+		// Jump to the next event: the earliest wake, bounded by the
+		// interconnect's in-flight-transaction horizon (always at or before
+		// the initiating core's wake, so this only splits a jump, never
+		// moves an access).
+		next := limit
+		for _, w := range wake {
+			if w < next {
+				next = w
+			}
+		}
+		if e, ok := p.icNextEvent(cyc); ok && e < next {
+			next = e
+		}
+		if next > cyc {
+			cyc = next
+		}
+		if cyc >= limit {
+			break
+		}
+		p.skip.EventCycles++
+		for i, c := range p.Cores {
+			if wake[i] != cyc {
+				continue
+			}
+			// Settle the stall span that ends here in one charge, then
+			// issue. AccrueStall(s) ≡ s stalled Step calls, so the books
+			// match the per-cycle sweep exactly.
+			if s := c.StallRemaining(); s > 0 {
+				p.skip.SkippedCycles += s
+				c.AccrueStall(s)
+			}
+			c.Step(cyc)
+			p.skip.CoreSteps++
+			if c.Halted() {
+				live--
+				wake[i] = cpu.WakeNever
+				idleFrom[i] = cyc + 1
+			} else {
+				wake[i] = c.WakeCycle(cyc + 1)
+			}
+		}
+		cyc++
+	}
+
+	// End of span: when the last core halted at cycle h the per-cycle
+	// kernel stops after sweeping h (time h+1); otherwise at limit.
+	end := limit
+	if live == 0 && cyc < limit {
+		end = cyc
+	}
+
+	// Flush the open spans so observers between kernel calls (snapshots,
+	// digests, power windows) see per-cycle-identical counters.
+	for i, c := range p.Cores {
+		if c.Halted() {
+			p.skip.SkippedCycles += end - idleFrom[i]
+			c.AccrueIdle(end - idleFrom[i])
+			continue
+		}
+		if acct := wake[i] - c.StallRemaining(); end > acct {
+			p.skip.SkippedCycles += end - acct
+			c.AccrueStall(end - acct)
+		}
+	}
+	if end > start {
+		p.VPCM.Advance(end - start)
+	}
 }
 
 // AllHalted reports whether every core has halted or faulted.

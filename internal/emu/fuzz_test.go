@@ -1,10 +1,11 @@
 package emu_test
 
 // FuzzPlatformStep feeds random short programs to a two-core platform and
-// asserts that the serial and the deterministic parallel kernel produce
-// bit-identical golden digests — including when the program faults, loops
-// forever, hammers the barrier or races both cores over shared memory. This
-// is the adversarial counterpart of the hand-written differential matrix.
+// asserts that the per-cycle sweep (StepOne), the serial skip-ahead kernel
+// and the deterministic parallel kernel all produce bit-identical golden
+// digests — including when the program faults, loops forever, hammers the
+// barrier or races both cores over shared memory. This is the adversarial
+// counterpart of the hand-written differential matrix.
 
 import (
 	"encoding/binary"
@@ -59,7 +60,8 @@ func FuzzPlatformStep(f *testing.F) {
 			every     = 64
 			chunk     = 16
 		)
-		run := func(parallel bool) *golden.Trace {
+		run := func(drive func(p *emu.Platform, tr *golden.Trace)) *golden.Trace {
+			parallel := drive == nil
 			cfg := emu.DefaultConfig(2)
 			cfg.Parallel = parallel
 			p := emu.MustNew(cfg)
@@ -72,14 +74,28 @@ func FuzzPlatformStep(f *testing.F) {
 			if parallel {
 				p.RunParallelDigest(chunk, maxCycles, every, tr)
 			} else {
-				p.RunDigest(maxCycles, every, tr)
+				drive(p, tr)
 			}
 			return tr
 		}
-		serial := run(false)
-		par := run(true)
-		if d := golden.Compare(serial, par); d != nil {
-			t.Fatalf("serial and parallel kernels diverge: %s", d)
+		perCycle := run(func(p *emu.Platform, tr *golden.Trace) {
+			stepOneDigest(p, maxCycles, every, tr)
+		})
+		serial := run(func(p *emu.Platform, tr *golden.Trace) {
+			p.RunDigest(maxCycles, every, tr)
+		})
+		single := run(func(p *emu.Platform, tr *golden.Trace) {
+			stepWindowDigest(p, maxCycles, every, 1, tr)
+		})
+		par := run(nil)
+		if d := golden.Compare(perCycle, serial); d != nil {
+			t.Fatalf("skip-ahead kernel diverges from per-cycle sweep: %s", d)
+		}
+		if d := golden.Compare(perCycle, single); d != nil {
+			t.Fatalf("Step(1) windows diverge from per-cycle sweep: %s", d)
+		}
+		if d := golden.Compare(perCycle, par); d != nil {
+			t.Fatalf("parallel kernel diverges from per-cycle sweep: %s", d)
 		}
 	})
 }

@@ -37,6 +37,8 @@ func diffSpec(t *testing.T, kind string, cores int) *workloads.Spec {
 		s, err = workloads.Dithering(cores, 8)
 	case "locks":
 		s, err = workloads.Locks(cores, 6)
+	case "membound":
+		s, err = workloads.MemBound(cores, 64, 2)
 	default:
 		t.Fatalf("unknown workload kind %q", kind)
 	}
@@ -97,7 +99,7 @@ func TestDifferentialSerialVsParallel(t *testing.T) {
 		name string
 		noc  bool
 	}{{"bus", false}, {"noc", true}} {
-		for _, kind := range []string{"matrix", "dithering", "locks"} {
+		for _, kind := range []string{"matrix", "dithering", "locks", "membound"} {
 			for _, cores := range []int{1, 2, 4} {
 				t.Run(fmt.Sprintf("%s/%s/%dc", ic.name, kind, cores), func(t *testing.T) {
 					spec := diffSpec(t, kind, cores)

@@ -26,7 +26,32 @@ package emu
 // every architectural and statistical observable is bit-identical to Run —
 // at any chunk size — which the golden-trace conformance suite asserts.
 
-import "thermemu/internal/mem"
+import (
+	"thermemu/internal/cpu"
+	"thermemu/internal/mem"
+)
+
+// skipStall settles core c's outstanding memory-stall span in one bulk
+// charge, bounded by chunkEnd (exclusive) — the exact equivalent of
+// stepping the core cycle-by-cycle from `from` while it stalls. It returns
+// the cycles skipped and adds them to *skipped. Halted cores consume no
+// stall (the kernels charge them idle time instead), matching the halt
+// check at the top of cpu.Core.Step.
+func skipStall(c *cpu.Core, from, chunkEnd uint64, skipped *uint64) uint64 {
+	if c.Halted() || from >= chunkEnd {
+		return 0
+	}
+	span := c.StallRemaining()
+	if span == 0 {
+		return 0
+	}
+	if left := chunkEnd - from; span > left {
+		span = left
+	}
+	c.AccrueStall(span)
+	*skipped += span
+	return span
+}
 
 type schedEventKind int
 
@@ -85,13 +110,18 @@ type scheduler struct {
 	events  chan schedEvent
 	gates   []*coreGate
 	doneAt  []uint64
+	// skipped holds per-core stall cycles settled in bulk this chunk; each
+	// runner writes only its own slot, and the evDone send/receive orders
+	// those writes before the arbiter sums them into the skip telemetry.
+	skipped []uint64
 	pending []schedEvent
 }
 
 func newScheduler(cores int) *scheduler {
 	s := &scheduler{
-		events: make(chan schedEvent, cores),
-		doneAt: make([]uint64, cores),
+		events:  make(chan schedEvent, cores),
+		doneAt:  make([]uint64, cores),
+		skipped: make([]uint64, cores),
 	}
 	for i := 0; i < cores; i++ {
 		s.gates = append(s.gates, &coreGate{sched: s, core: i, grant: make(chan struct{})})
@@ -155,11 +185,18 @@ func (p *Platform) runChunk(base, n uint64) uint64 {
 	if len(p.Cores) == 1 {
 		c := p.Cores[0]
 		cyc := base
-		for end := base + n; cyc < end && !c.Halted(); cyc++ {
+		chunkEnd := base + n
+		cyc += skipStall(c, cyc, chunkEnd, &p.skip.SkippedCycles)
+		for ; cyc < chunkEnd && !c.Halted(); cyc++ {
 			c.Step(cyc)
+			p.skip.CoreSteps++
+			p.skip.EventCycles++
+			if c.StallRemaining() > 0 {
+				cyc += skipStall(c, cyc+1, chunkEnd, &p.skip.SkippedCycles)
+			}
 		}
 		s.doneAt[0] = cyc
-		end := base + n
+		end := chunkEnd
 		if c.Halted() {
 			end = cyc
 		}
@@ -172,14 +209,25 @@ func (p *Platform) runChunk(base, n uint64) uint64 {
 			c := p.Cores[id]
 			g := s.gates[id]
 			cyc := base
-			for end := base + n; cyc < end; cyc++ {
+			end := base + n
+			// Stall spans touch no shared state and cannot park, so each
+			// runner skips its own in bulk — including a span carried in
+			// from the previous chunk — without perturbing the arbiter's
+			// (cycle, coreID) commit order.
+			var skipped uint64
+			cyc += skipStall(c, cyc, end, &skipped)
+			for ; cyc < end; cyc++ {
 				if c.Halted() {
 					break
 				}
 				g.cycle = cyc
 				g.held = false
 				c.Step(cyc)
+				if c.StallRemaining() > 0 {
+					cyc += skipStall(c, cyc+1, end, &skipped)
+				}
 			}
+			s.skipped[id] = skipped
 			s.events <- schedEvent{kind: evDone, core: id, cycle: cyc}
 		}(id)
 	}
@@ -225,6 +273,10 @@ func (p *Platform) runChunk(base, n uint64) uint64 {
 	s.running = false
 	for _, g := range s.gates {
 		g.solo = false
+	}
+	for i := range s.skipped {
+		p.skip.SkippedCycles += s.skipped[i]
+		s.skipped[i] = 0
 	}
 
 	// Halt trimming: the serial kernel stops as soon as every core has

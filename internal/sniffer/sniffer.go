@@ -201,6 +201,80 @@ func (s *CountSniffer) Reset() {
 	}
 }
 
+// Mode is the per-cycle execution mode an activity sniffer attributes
+// cycles to. The order matches cpu.State (active, stalled, idle).
+type Mode uint8
+
+// Execution modes.
+const (
+	ModeActive Mode = iota
+	ModeStalled
+	ModeIdle
+	numModes
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	names := [...]string{"active", "stalled", "idle"}
+	if int(m) < len(names) {
+		return names[m]
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Activity is the count-logging sniffer that watches a core's execution
+// mode for the activity-based power model. In hardware it samples the
+// pipeline-stall and sleep signals once per clock; the software model
+// additionally accepts whole spans, so a skip-ahead kernel that jumps a
+// stall or idle region can settle the same books in one call. Accrue(m, n)
+// is defined to be exactly n Tick(m) calls, which keeps span-accrued
+// counters bit-identical to per-cycle logging.
+type Activity struct {
+	name    string
+	enabled bool
+	counts  [numModes]uint64
+}
+
+// NewActivity creates an enabled activity sniffer.
+func NewActivity(name string) *Activity {
+	return &Activity{name: name, enabled: true}
+}
+
+// Name implements Sniffer.
+func (a *Activity) Name() string { return a.name }
+
+// Enabled implements Sniffer.
+func (a *Activity) Enabled() bool { return a.enabled }
+
+// SetEnabled implements Sniffer.
+func (a *Activity) SetEnabled(on bool) { a.enabled = on }
+
+// Tick charges one cycle to mode m (no-op while disabled).
+func (a *Activity) Tick(m Mode) { a.Accrue(m, 1) }
+
+// Accrue charges cycles cycles to mode m in one step (no-op while
+// disabled).
+func (a *Activity) Accrue(m Mode, cycles uint64) {
+	if a.enabled {
+		a.counts[m] += cycles
+	}
+}
+
+// Count returns the cycles charged to mode m.
+func (a *Activity) Count(m Mode) uint64 { return a.counts[m] }
+
+// Cycles returns the total cycles charged across all modes.
+func (a *Activity) Cycles() uint64 {
+	var t uint64
+	for _, c := range a.counts {
+		t += c
+	}
+	return t
+}
+
+// Reset zeroes every mode counter.
+func (a *Activity) Reset() { a.counts = [numModes]uint64{} }
+
 // EventSniffer exhaustively logs events into the shared BRAM ring.
 type EventSniffer struct {
 	name     string

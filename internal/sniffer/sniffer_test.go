@@ -220,3 +220,54 @@ func TestEventKindStrings(t *testing.T) {
 		t.Error("unknown kind produced empty string")
 	}
 }
+
+func TestActivitySnifferAccrueEqualsTicks(t *testing.T) {
+	ticked := NewActivity("a0")
+	accrued := NewActivity("a1")
+	spans := []struct {
+		m Mode
+		n uint64
+	}{{ModeActive, 3}, {ModeStalled, 17}, {ModeActive, 1}, {ModeIdle, 9}}
+	for _, s := range spans {
+		for i := uint64(0); i < s.n; i++ {
+			ticked.Tick(s.m)
+		}
+		accrued.Accrue(s.m, s.n)
+	}
+	for _, m := range []Mode{ModeActive, ModeStalled, ModeIdle} {
+		if ticked.Count(m) != accrued.Count(m) {
+			t.Errorf("%s: ticked %d, accrued %d", m, ticked.Count(m), accrued.Count(m))
+		}
+	}
+	if ticked.Cycles() != 30 || accrued.Cycles() != 30 {
+		t.Errorf("totals = %d, %d, want 30", ticked.Cycles(), accrued.Cycles())
+	}
+}
+
+func TestActivitySnifferDisableAndReset(t *testing.T) {
+	a := NewActivity("a0")
+	if !a.Enabled() || a.Name() != "a0" {
+		t.Fatalf("fresh sniffer: enabled=%v name=%q", a.Enabled(), a.Name())
+	}
+	a.Accrue(ModeStalled, 5)
+	a.SetEnabled(false)
+	a.Accrue(ModeStalled, 100)
+	a.Tick(ModeActive)
+	if a.Count(ModeStalled) != 5 || a.Count(ModeActive) != 0 {
+		t.Errorf("disabled sniffer counted: %d/%d", a.Count(ModeStalled), a.Count(ModeActive))
+	}
+	a.SetEnabled(true)
+	a.Reset()
+	if a.Cycles() != 0 {
+		t.Errorf("cycles after reset = %d", a.Cycles())
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if ModeActive.String() != "active" || ModeStalled.String() != "stalled" || ModeIdle.String() != "idle" {
+		t.Errorf("mode names: %s/%s/%s", ModeActive, ModeStalled, ModeIdle)
+	}
+	if Mode(9).String() != "mode(9)" {
+		t.Errorf("unknown mode = %s", Mode(9))
+	}
+}

@@ -485,6 +485,104 @@ func Dithering(cores, size int) (*Spec, error) {
 }
 
 // ---------------------------------------------------------------------------
+// MEMBOUND
+// ---------------------------------------------------------------------------
+
+// StreamBase is the shared-memory offset of the MEMBOUND stream buffer.
+const StreamBase = 0x4000
+
+// streamWord is the deterministic initial value of stream element i.
+func streamWord(i uint32) uint32 { return (i*2654435761 + 12345) & 0xFFFFFF }
+
+// StreamSum returns the 32-bit wraparound sum of the stream buffer — the
+// reference for one pass of the MEMBOUND inner loop.
+func StreamSum(words int) uint32 {
+	var sum uint32
+	for i := uint32(0); i < uint32(words); i++ {
+		sum += streamWord(i)
+	}
+	return sum
+}
+
+// memBoundProgram generates the per-core MEMBOUND driver: iters sequential
+// read passes over a shared stream buffer. With the shared range uncached
+// (the default platform configuration) every load pays the full
+// interconnect + memory latency, so the cores spend most cycles stalled —
+// the workload the skip-ahead kernel exists for, and the worst case for
+// per-cycle stepping.
+func memBoundProgram(words, iters int) string {
+	return fmt.Sprintf(`
+	.equ WORDS,  %d
+	.equ ITERS,  %d
+	.equ STREAM, %d           ; SharedBase + StreamBase
+	.equ SHARED, 0x10000000
+	.equ INFO,   0x22000000
+
+start:
+	li   r20, INFO
+	lw   r21, 0(r20)          ; coreID
+	li   r17, ITERS
+	add  r10, r0, r0          ; sum
+iter:
+	li   r4, STREAM
+	li   r2, WORDS
+loop:
+	lw   r6, 0(r4)
+	add  r10, r10, r6
+	addi r4, r4, 4
+	dec  r2
+	bne  r2, r0, loop
+	dec  r17
+	bne  r17, r0, iter
+
+	; tag with the core id and publish at SHARED + 4*coreID
+	add  r10, r10, r21
+	li   r22, SHARED
+	slli r23, r21, 2
+	add  r22, r22, r23
+	sw   r10, 0(r22)
+	halt
+`, words, iters, SharedBase+StreamBase)
+}
+
+// MemBound builds the MEMBOUND workload: every core streams `words` shared
+// words `iters` times and publishes the tagged checksum. The stream buffer
+// must fit under the platform's shared-memory size.
+func MemBound(cores, words, iters int) (*Spec, error) {
+	if cores <= 0 || words <= 0 || iters <= 0 {
+		return nil, fmt.Errorf("workloads: cores, words and iters must be positive")
+	}
+	im, err := asm.Assemble(memBoundProgram(words, iters))
+	if err != nil {
+		return nil, fmt.Errorf("workloads: membound program: %w", err)
+	}
+	progs := make([]*asm.Image, cores)
+	for i := range progs {
+		progs[i] = im
+	}
+	stream := make([]byte, 4*words)
+	for i := 0; i < words; i++ {
+		binary.LittleEndian.PutUint32(stream[4*i:], streamWord(uint32(i)))
+	}
+	spec := &Spec{
+		Name:     fmt.Sprintf("membound-%dc-%dw-%dit", cores, words, iters),
+		Programs: progs,
+		Shared:   []SharedBlock{{Addr: StreamBase, Data: stream}},
+	}
+	spec.Verify = func(read func(uint32) uint32) error {
+		pass := StreamSum(words)
+		for c := 0; c < cores; c++ {
+			want := pass*uint32(iters) + uint32(c)
+			if got := read(ChecksumBase + uint32(4*c)); got != want {
+				return fmt.Errorf("membound: core %d checksum %#x, want %#x", c, got, want)
+			}
+		}
+		return nil
+	}
+	return spec, nil
+}
+
+// ---------------------------------------------------------------------------
 // LOCKS
 // ---------------------------------------------------------------------------
 

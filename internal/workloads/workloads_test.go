@@ -274,6 +274,55 @@ func TestLocksParallelMode(t *testing.T) {
 	}
 }
 
+func TestMemBoundSingleCore(t *testing.T) {
+	s, err := MemBound(1, 256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := runToCompletion(t, emu.DefaultConfig(1), s, 5_000_000)
+	// Uncached shared streaming must be stall-dominated — the property the
+	// skip-ahead kernel exploits.
+	st := p.Cores[0].Stats()
+	if st.StallCycles < st.ActiveCycles {
+		t.Errorf("membound not stall-heavy: %d stall vs %d active cycles",
+			st.StallCycles, st.ActiveCycles)
+	}
+}
+
+func TestMemBoundFourCoresBus(t *testing.T) {
+	s, err := MemBound(4, 256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := runToCompletion(t, emu.DefaultConfig(4), s, 20_000_000)
+	if p.Bus.Stats().Transactions == 0 {
+		t.Error("no bus transactions")
+	}
+}
+
+func TestMemBoundOnNoC(t *testing.T) {
+	cfg := emu.DefaultConfig(4)
+	cfg.IC = emu.ICNoC
+	cfg.NoC = emu.Table3NoC(4)
+	s, err := MemBound(4, 128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runToCompletion(t, cfg, s, 20_000_000)
+}
+
+func TestMemBoundRejectsBadParams(t *testing.T) {
+	if _, err := MemBound(0, 64, 1); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := MemBound(1, 0, 1); err == nil {
+		t.Error("zero words accepted")
+	}
+	if _, err := MemBound(1, 64, 0); err == nil {
+		t.Error("zero iters accepted")
+	}
+}
+
 func TestLocksRejectsBadParams(t *testing.T) {
 	if _, err := Locks(0, 10); err == nil {
 		t.Error("zero cores accepted")
