@@ -18,8 +18,15 @@
 // of its cycles/s (the slack absorbs runner noise). Kernel PRs may only
 // make these numbers go up; their golden digests prove nothing else moved.
 //
+// Coverage mode (-cover) computes total statement coverage from a
+// `go test -coverprofile` file and gates it against the committed
+// COVERAGE.baseline: a PR may not lower coverage by more than -slack
+// percentage points. When coverage rises past the baseline the gate still
+// passes but asks for a baseline refresh, so the floor ratchets upward.
+//
 // Usage: benchgate [BENCH_loop.json]
 //        benchgate -emu [-ratio 0.8] NEW_BENCH_emu.json BASELINE_BENCH_emu.json
+//        benchgate -cover [-slack 0.3] coverage.out COVERAGE.baseline
 package main
 
 import (
@@ -224,9 +231,109 @@ func gateEmu(newPath, basePath string, ratio float64) int {
 	return c.fail
 }
 
+// parseCoverProfile totals the statements of a `go test -coverprofile`
+// file. With -coverpkg each test binary reports every instrumented package,
+// so the same block appears once per binary; blocks are merged by key with
+// execution counts summed, and a statement counts as covered when any
+// binary ran it.
+func parseCoverProfile(path string) (covered, total int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+
+	type block struct {
+		stmts int
+		count int
+	}
+	blocks := make(map[string]block)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		// file.go:startLine.startCol,endLine.endCol numStmts count
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return 0, 0, fmt.Errorf("%s: malformed profile line %q", path, line)
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return 0, 0, fmt.Errorf("%s: malformed statement count in %q", path, line)
+		}
+		count, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return 0, 0, fmt.Errorf("%s: malformed execution count in %q", path, line)
+		}
+		b := blocks[fields[0]]
+		b.stmts = stmts
+		b.count += count
+		blocks[fields[0]] = b
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, err
+	}
+	for _, b := range blocks {
+		total += b.stmts
+		if b.count > 0 {
+			covered += b.stmts
+		}
+	}
+	if total == 0 {
+		return 0, 0, fmt.Errorf("%s: no coverage blocks", path)
+	}
+	return covered, total, nil
+}
+
+// readBaselinePercent reads the committed coverage floor: the first
+// non-comment line of the baseline file is the percentage.
+func readBaselinePercent(path string) (float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return strconv.ParseFloat(strings.Fields(line)[0], 64)
+	}
+	return 0, fmt.Errorf("%s: no baseline percentage found", path)
+}
+
+func gateCover(profilePath, basePath string, slack float64) int {
+	covered, total, err := parseCoverProfile(profilePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	base, err := readBaselinePercent(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	pct := 100 * float64(covered) / float64(total)
+
+	var c checker
+	c.check(pct >= base-slack,
+		"coverage: %.1f%% of statements (%d/%d) vs baseline %.1f%% (slack %.1f pts)",
+		pct, covered, total, base, slack)
+	if pct > base+slack {
+		fmt.Printf("note coverage rose %.1f pts past the baseline: refresh %s to %.1f\n",
+			pct-base, basePath, pct)
+	}
+	return c.fail
+}
+
 func main() {
 	emu := flag.Bool("emu", false, "gate emulation-kernel cycles/s against a baseline (args: NEW BASELINE)")
 	ratio := flag.Float64("ratio", 0.8, "fraction of baseline cycles/s each kernel benchmark must retain (-emu)")
+	cover := flag.Bool("cover", false, "gate total statement coverage against a baseline (args: PROFILE BASELINE)")
+	slack := flag.Float64("slack", 0.3, "percentage points coverage may drop below the baseline (-cover)")
 	flag.Parse()
 
 	if *emu {
@@ -235,6 +342,13 @@ func main() {
 			os.Exit(2)
 		}
 		os.Exit(gateEmu(flag.Arg(0), flag.Arg(1), *ratio))
+	}
+	if *cover {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchgate -cover [-slack P] coverage.out COVERAGE.baseline")
+			os.Exit(2)
+		}
+		os.Exit(gateCover(flag.Arg(0), flag.Arg(1), *slack))
 	}
 
 	path := "BENCH_loop.json"

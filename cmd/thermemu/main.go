@@ -10,12 +10,15 @@
 //	thermemu -cores 4 -workload matrix-tm -iters 400 -tm -csv run.csv
 //	thermemu -cores 4 -workload dithering -size 64 -ic noc
 //	thermemu -workload matrix-tm -host 127.0.0.1:9077   (remote thermal host)
+//	thermemu -workload matrix-tm -iters 400 -digest -checkpoint ck/   (checkpointed)
+//	thermemu -workload matrix-tm -iters 400 -digest -resume ck/win-000010.tmck
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 
@@ -52,6 +55,10 @@ func main() {
 		redial    = flag.Bool("redial", false, "supervise the host connection: reconnect with capped exponential backoff on link faults")
 		report   = flag.Bool("report", false, "print the detailed platform statistics report")
 		digest   = flag.Bool("digest", false, "accumulate and print the run's golden conformance digest")
+		ckptDir   = flag.String("checkpoint", "", "write window-boundary checkpoints (win-NNNNNN.tmck) into this directory")
+		ckptEvery = flag.Int("checkpoint-every", 10, "checkpoint cadence in sampling windows for -checkpoint")
+		resume    = flag.String("resume", "", "resume a run from this checkpoint file (continues its golden digest lineage; flags must match the original run)")
+		fork      = flag.String("fork", "", "like -resume but as a new experiment branching off the snapshot (fresh digest lineage)")
 		vcdPath  = flag.String("vcd", "", "write the run as a VCD waveform to this path")
 		jsonPath = flag.String("json", "", "write the run's samples as JSON to this path")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
@@ -61,7 +68,7 @@ func main() {
 	if err := profiled(*cpuProf, *memProf, func() error {
 		return run(*cores, *workload, *n, *iters, *size, *ic, *nocSpec, *freqMHz, *withTM,
 			*windowMs, *pipeline, *tscale, *cells, *workers, *csvPath, *hostAddr, *fault, *faultSeed,
-			*redial, *report, *digest, *vcdPath, *jsonPath)
+			*redial, *report, *digest, *ckptDir, *ckptEvery, *resume, *fork, *vcdPath, *jsonPath)
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "thermemu:", err)
 		os.Exit(1)
@@ -103,6 +110,7 @@ func profiled(cpuPath, memPath string, body func() error) error {
 func run(cores int, workload string, n, iters, size int, ic, nocSpec string, freqMHz int,
 	withTM bool, windowMs float64, pipeline int, tscale float64, cells, workers int,
 	csvPath, hostAddr, fault string, faultSeed int64, redial, report, digest bool,
+	ckptDir string, ckptEvery int, resumePath, forkPath string,
 	vcdPath, jsonPath string) error {
 	pcfg := thermemu.DefaultPlatform(cores)
 	switch ic {
@@ -167,6 +175,32 @@ func run(cores int, workload string, n, iters, size int, ic, nocSpec string, fre
 	}
 	if digest {
 		cfg.Golden = thermemu.NewGoldenTrace()
+	}
+	if ckptDir != "" {
+		if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+			return err
+		}
+		cfg.CheckpointEvery = ckptEvery
+		cfg.CheckpointSink = func(c *thermemu.Checkpoint) error {
+			name := fmt.Sprintf("win-%06d.tmck", c.Window)
+			if c.Partial {
+				name = fmt.Sprintf("win-%06d-partial.tmck", c.Window)
+			}
+			return c.WriteFile(filepath.Join(ckptDir, name))
+		}
+	}
+	if resumePath != "" && forkPath != "" {
+		return fmt.Errorf("-resume and -fork are mutually exclusive")
+	}
+	if path := resumePath + forkPath; path != "" {
+		c, err := thermemu.ReadCheckpoint(path)
+		if err != nil {
+			return err
+		}
+		cfg.Resume = c
+		cfg.Fork = forkPath != ""
+		fmt.Printf("resuming:       %s (window %d, cycle %d, partial=%v)\n",
+			path, c.Window, c.Platform.Clock.Cycle, c.Partial)
 	}
 	if hostAddr != "" {
 		fcfg, err := etherlink.ParseFaultSpec(fault)

@@ -1,0 +1,39 @@
+package bus
+
+import "fmt"
+
+// State is the complete checkpointable bus state: the in-flight busy
+// horizon, the arbitration memory and every counter.
+type State struct {
+	BusyUntil uint64
+	LastGrant int
+	Stats     Stats
+	PerMaster []uint64 // wait cycles per master
+}
+
+// SaveState captures the bus for checkpointing.
+func (b *Bus) SaveState() State {
+	return State{
+		BusyUntil: b.busyUntil,
+		LastGrant: b.lastGrant,
+		Stats:     b.stats,
+		PerMaster: append([]uint64(nil), b.perMaster...),
+	}
+}
+
+// RestoreState rewinds the bus to a saved state. The master count must
+// match the live configuration.
+func (b *Bus) RestoreState(s State) error {
+	if len(s.PerMaster) != b.cfg.Masters {
+		return fmt.Errorf("bus %s: checkpoint has %d masters, config has %d",
+			b.cfg.Name, len(s.PerMaster), b.cfg.Masters)
+	}
+	if s.LastGrant < -1 || s.LastGrant >= b.cfg.Masters {
+		return fmt.Errorf("bus %s: last grant %d out of range", b.cfg.Name, s.LastGrant)
+	}
+	b.busyUntil = s.BusyUntil
+	b.lastGrant = s.LastGrant
+	b.stats = s.Stats
+	copy(b.perMaster, s.PerMaster)
+	return nil
+}

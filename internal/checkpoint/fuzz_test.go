@@ -1,0 +1,36 @@
+package checkpoint_test
+
+import (
+	"bytes"
+	"testing"
+
+	"thermemu/internal/checkpoint"
+	"thermemu/internal/emu"
+)
+
+// FuzzCheckpointRoundTrip feeds arbitrary bytes to the strict decoder. The
+// contract under fuzz: never panic, and any input that decodes cleanly must
+// re-encode to the identical bytes (the codec is canonical). Seeds include
+// a real encoded checkpoint so the fuzzer starts inside the format.
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	small := &checkpoint.Checkpoint{Platform: &emu.PlatformState{}}
+	f.Add(checkpoint.Encode(small))
+
+	p := emu.MustNew(emu.DefaultConfig(1))
+	p.Step(100)
+	f.Add(checkpoint.Encode(checkpoint.FromPlatform(p)))
+
+	f.Add([]byte{})
+	f.Add([]byte{0x54, 0x4d, 0x43, 0x4b}) // bare magic
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := checkpoint.Decode(data)
+		if err != nil {
+			return
+		}
+		re := checkpoint.Encode(ck)
+		if !bytes.Equal(data, re) {
+			t.Fatalf("decode/re-encode not byte-identical: %d in, %d out", len(data), len(re))
+		}
+	})
+}

@@ -1,0 +1,206 @@
+package checkpoint
+
+// Replay-to-divergence: instead of only naming the first divergent golden
+// record, rebuild both kernels' platforms from the nearest common
+// checkpoint, lockstep them cycle by cycle with the per-cycle reference
+// kernel (StepOne), and report the exact cycle, core and fields where their
+// architectural state first disagrees — plus both full state dumps at that
+// cycle.
+
+import (
+	"fmt"
+	"sort"
+
+	"thermemu/internal/emu"
+	"thermemu/internal/golden"
+)
+
+// Store is an ordered in-memory collection of window-boundary checkpoints,
+// the replay debugger's seek index.
+type Store struct {
+	cks []*Checkpoint // ascending by platform cycle
+}
+
+// Add inserts a checkpoint, keeping the store ordered by platform cycle.
+func (s *Store) Add(c *Checkpoint) {
+	if c == nil || c.Platform == nil {
+		return
+	}
+	s.cks = append(s.cks, c)
+	sort.SliceStable(s.cks, func(i, j int) bool {
+		return s.cks[i].Platform.Clock.Cycle < s.cks[j].Platform.Clock.Cycle
+	})
+}
+
+// Len returns the number of stored checkpoints.
+func (s *Store) Len() int { return len(s.cks) }
+
+// NearestAtOrBefore returns the latest checkpoint taken at or before the
+// given cycle, or nil when none qualifies.
+func (s *Store) NearestAtOrBefore(cycle uint64) *Checkpoint {
+	var best *Checkpoint
+	for _, c := range s.cks {
+		if c.Platform.Clock.Cycle <= cycle {
+			best = c
+		} else {
+			break
+		}
+	}
+	return best
+}
+
+// Replayer rebuilds one side of a divergence investigation: Build returns a
+// fresh platform at cycle 0 with the workload loaded, and Store holds the
+// side's window-boundary checkpoints (may be empty — replay then starts
+// from cycle 0).
+type Replayer struct {
+	Build func() (*emu.Platform, error)
+	Store *Store
+	// AfterStep, when set, runs after every replayed cycle on this side —
+	// the seam a test double uses to model a deterministic kernel bug
+	// (e.g. flip one register bit at a fixed cycle), and a hook for
+	// instrumented replays. It must be a pure function of the platform
+	// state and cycle so the replay reproduces the original run.
+	AfterStep func(p *emu.Platform, cycle uint64)
+}
+
+// Report is the outcome of a replay: the first cycle at which the two
+// platforms' architectural state disagreed, the differing fields, and both
+// sides' full state dumps at that cycle.
+type Report struct {
+	// FromCycle is where replay started (the common checkpoint's cycle, or
+	// 0 when replay started from a fresh build).
+	FromCycle uint64
+	// Cycle is the first divergent cycle: after stepping both platforms
+	// through this cycle their states first disagreed.
+	Cycle uint64
+	Diffs []emu.StateDiff
+	DumpA string
+	DumpB string
+}
+
+// String renders the report headline plus the first few diffs.
+func (r *Report) String() string {
+	s := fmt.Sprintf("divergence at cycle %d (replayed from %d), %d fields differ",
+		r.Cycle, r.FromCycle, len(r.Diffs))
+	for i, d := range r.Diffs {
+		if i == 8 {
+			s += fmt.Sprintf("\n  ... and %d more", len(r.Diffs)-8)
+			break
+		}
+		s += "\n  " + d.String()
+	}
+	return s
+}
+
+// commonStart picks the latest checkpoint at or before hint that both
+// stores hold with identical state digests — the safest point both sides
+// agree on. A nil return means replay must start from a fresh build.
+func commonStart(a, b *Store, hint uint64) (*Checkpoint, *Checkpoint) {
+	if a == nil || b == nil {
+		return nil, nil
+	}
+	limit := hint
+	for {
+		ca := a.NearestAtOrBefore(limit)
+		if ca == nil {
+			return nil, nil
+		}
+		cy := ca.Platform.Clock.Cycle
+		cb := b.NearestAtOrBefore(cy)
+		if cb != nil && cb.Platform.Clock.Cycle == cy && cb.StateDigest == ca.StateDigest {
+			return ca, cb
+		}
+		if cy == 0 {
+			return nil, nil
+		}
+		limit = cy - 1
+	}
+}
+
+// ReplayToDivergence drives both sides from the nearest common checkpoint
+// at or before hintCycle (the divergent cycle the golden journal named),
+// single-stepping with StepOne and diffing the full platform state after
+// every cycle. It returns the report for the first divergent cycle, or an
+// error if the two sides never disagree by hintCycle — meaning the recorded
+// divergence does not reproduce under per-cycle stepping.
+func ReplayToDivergence(a, b *Replayer, hintCycle uint64) (*Report, error) {
+	pa, err := a.Build()
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: build A: %w", err)
+	}
+	pb, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: build B: %w", err)
+	}
+	from := uint64(0)
+	if ca, cb := commonStart(a.Store, b.Store, hintCycle); ca != nil {
+		if err := ca.Apply(pa); err != nil {
+			return nil, fmt.Errorf("checkpoint: restore A: %w", err)
+		}
+		if err := cb.Apply(pb); err != nil {
+			return nil, fmt.Errorf("checkpoint: restore B: %w", err)
+		}
+		from = ca.Platform.Clock.Cycle
+	}
+	if pa.VPCM.Cycle() != pb.VPCM.Cycle() {
+		return nil, fmt.Errorf("checkpoint: replay starts misaligned (A at %d, B at %d)",
+			pa.VPCM.Cycle(), pb.VPCM.Cycle())
+	}
+
+	diff := func() (*Report, error) {
+		sa, sb := pa.SaveState(), pb.SaveState()
+		diffs, err := emu.DiffStates(sa, sb)
+		if err != nil {
+			return nil, err
+		}
+		if len(diffs) == 0 {
+			return nil, nil
+		}
+		return &Report{FromCycle: from, Cycle: pa.VPCM.Cycle(),
+			Diffs: diffs, DumpA: sa.Dump(), DumpB: sb.Dump()}, nil
+	}
+	// The restored states themselves may already disagree (e.g. divergence
+	// inside the checkpointed window of a run without journaling).
+	if rep, err := diff(); rep != nil || err != nil {
+		return rep, err
+	}
+	for pa.VPCM.Cycle() <= hintCycle {
+		if pa.AllHalted() && pb.AllHalted() {
+			break
+		}
+		pa.StepOne()
+		pb.StepOne()
+		if a.AfterStep != nil {
+			a.AfterStep(pa, pa.VPCM.Cycle())
+		}
+		if b.AfterStep != nil {
+			b.AfterStep(pb, pb.VPCM.Cycle())
+		}
+		if rep, err := diff(); rep != nil || err != nil {
+			return rep, err
+		}
+	}
+	return nil, fmt.Errorf("checkpoint: no divergence reproduced by cycle %d (replayed from %d)",
+		hintCycle, from)
+}
+
+// HintFromDivergence extracts the replay target cycle from a golden
+// divergence report: the cycle of the first differing record.
+func HintFromDivergence(d *golden.Divergence) (uint64, bool) {
+	switch {
+	case d == nil:
+		return 0, false
+	case d.A != nil && d.B != nil:
+		cy := d.A.Cycle
+		if d.B.Cycle > cy {
+			cy = d.B.Cycle
+		}
+		return cy, true
+	case d.A != nil:
+		return d.A.Cycle, true
+	case d.B != nil:
+		return d.B.Cycle, true
+	}
+	return 0, false
+}

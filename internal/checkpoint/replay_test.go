@@ -1,0 +1,141 @@
+package checkpoint_test
+
+import (
+	"strings"
+	"testing"
+
+	"thermemu/internal/checkpoint"
+	"thermemu/internal/emu"
+	"thermemu/internal/golden"
+)
+
+const (
+	// corruptCycle is where the buggy kernel double flips one bit (the
+	// 2-core matrix workload runs ~1.9k cycles, so this lands mid-run).
+	corruptCycle = 1_200
+	// sampleEvery/ckptEvery are the digest and checkpoint cadences of the
+	// simulated original runs.
+	sampleEvery = 256
+	ckptEvery   = 2 * sampleEvery
+	// runUntil bounds the original runs (generous: the corrupted side may
+	// never halt).
+	runUntil = 4_000
+)
+
+// corrupt is the deliberate one-bit kernel divergence: at corruptCycle,
+// core 0's PC has bit 2 flipped, skewing its instruction stream by one
+// word. It is a pure function of the cycle, so a replayed run reproduces
+// the original divergence exactly.
+func corrupt(p *emu.Platform, cycle uint64) {
+	if cycle == corruptCycle {
+		c := p.Cores[0]
+		c.SetPC(c.PC() ^ 4)
+	}
+}
+
+// originalRun simulates one side's original run with the per-cycle kernel:
+// digest samples every sampleEvery cycles, window-boundary checkpoints
+// every ckptEvery cycles, and the buggy double applied when buggy is set.
+// It returns the journaled trace and the checkpoint store.
+func originalRun(t *testing.T, until uint64, buggy bool) (*golden.Trace, *checkpoint.Store) {
+	t.Helper()
+	p := buildRun(t)
+	tr := golden.NewJournal()
+	store := &checkpoint.Store{}
+	for p.VPCM.Cycle() < until && !p.AllHalted() {
+		p.StepOne()
+		cy := p.VPCM.Cycle()
+		if buggy {
+			corrupt(p, cy)
+		}
+		if cy%sampleEvery == 0 {
+			emu.DigestSnapshot(tr, p.Snapshot())
+		}
+		if cy%ckptEvery == 0 {
+			store.Add(checkpoint.FromPlatform(p))
+		}
+	}
+	p.DigestInto(tr)
+	return tr, store
+}
+
+func TestReplayToDivergence(t *testing.T) {
+	trA, storeA := originalRun(t, runUntil, false)
+	trB, storeB := originalRun(t, runUntil, true)
+
+	div := golden.Compare(trA, trB)
+	if div == nil {
+		t.Fatal("corrupted run should diverge from the clean run")
+	}
+	hint, ok := checkpoint.HintFromDivergence(div)
+	if !ok {
+		t.Fatalf("no hint cycle in divergence %v", div)
+	}
+	// The journal can only localise to a sample boundary at or after the
+	// corruption; replay must pin the exact cycle.
+	if hint < corruptCycle {
+		t.Fatalf("hint cycle %d precedes the corruption at %d", hint, corruptCycle)
+	}
+
+	a := &checkpoint.Replayer{Build: func() (*emu.Platform, error) { return buildRun(t), nil }, Store: storeA}
+	b := &checkpoint.Replayer{Build: func() (*emu.Platform, error) { return buildRun(t), nil }, Store: storeB,
+		AfterStep: corrupt}
+	rep, err := checkpoint.ReplayToDivergence(a, b, hint)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+
+	if rep.Cycle != corruptCycle {
+		t.Errorf("replay found divergence at cycle %d, want %d", rep.Cycle, corruptCycle)
+	}
+	// Replay must have started from the nearest common checkpoint, not from
+	// scratch: the last boundary before the corruption is 4096*1 = 4096.
+	if wantFrom := uint64(corruptCycle/ckptEvery) * ckptEvery; rep.FromCycle != wantFrom {
+		t.Errorf("replayed from cycle %d, want nearest checkpoint %d", rep.FromCycle, wantFrom)
+	}
+	found := false
+	for _, d := range rep.Diffs {
+		if d.Core == 0 && d.Field == "pc" {
+			if d.A^d.B != 4 {
+				t.Errorf("pc diff is not the injected one-bit flip: %s", d)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no core-0 pc diff in report: %v", rep)
+	}
+	if rep.DumpA == "" || rep.DumpB == "" || !strings.Contains(rep.DumpA, "core 0:") {
+		t.Errorf("state dumps missing from report")
+	}
+	if !strings.Contains(rep.String(), "divergence at cycle") {
+		t.Errorf("report headline malformed: %s", rep.String())
+	}
+}
+
+// TestReplayNoDivergence: replaying two identical sides reports an error
+// instead of fabricating a divergence.
+func TestReplayNoDivergence(t *testing.T) {
+	_, store := originalRun(t, runUntil, false)
+	mk := func() *checkpoint.Replayer {
+		return &checkpoint.Replayer{Build: func() (*emu.Platform, error) { return buildRun(t), nil }, Store: store}
+	}
+	if rep, err := checkpoint.ReplayToDivergence(mk(), mk(), 1_500); err == nil {
+		t.Fatalf("identical sides produced a report: %v", rep)
+	}
+}
+
+// TestReplayWithoutCheckpoints: with empty stores the replay falls back to
+// a fresh build from cycle 0 and still pins the divergence.
+func TestReplayWithoutCheckpoints(t *testing.T) {
+	a := &checkpoint.Replayer{Build: func() (*emu.Platform, error) { return buildRun(t), nil }, Store: &checkpoint.Store{}}
+	b := &checkpoint.Replayer{Build: func() (*emu.Platform, error) { return buildRun(t), nil }, Store: &checkpoint.Store{},
+		AfterStep: corrupt}
+	rep, err := checkpoint.ReplayToDivergence(a, b, corruptCycle+sampleEvery)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if rep.FromCycle != 0 || rep.Cycle != corruptCycle {
+		t.Errorf("replay from %d found cycle %d, want 0 and %d", rep.FromCycle, rep.Cycle, corruptCycle)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"thermemu/internal/checkpoint"
 	"thermemu/internal/emu"
 	"thermemu/internal/etherlink"
 	"thermemu/internal/golden"
@@ -77,6 +78,31 @@ type Config struct {
 	// every window, but the sample's slices are only valid during the
 	// callback (they are reused buffers on the pipelined hot path).
 	DiscardSamples bool
+	// CheckpointEvery cuts a checkpoint through CheckpointSink every N
+	// committed sampling windows (0 with a sink set means every window).
+	// Checkpointing requires the in-process thermal host — a transport-mode
+	// run does not own the thermal state and is rejected. In a pipelined
+	// run every checkpoint first drains the pipeline (a pipeline flush), so
+	// the cadence is part of the run's determinism contract: two runs with
+	// the same cadence are bit-identical, and a checkpointed run matches an
+	// uncheckpointed one whenever TM feedback (DFS, leakage) is off.
+	CheckpointEvery int
+	// CheckpointSink receives each checkpoint as it is cut (e.g.
+	// checkpoint.Checkpoint.WriteFile). A sink error aborts the run with a
+	// Partial result. On any abort a final checkpoint with Partial set is
+	// flushed, so a mid-run failure still leaves a loadable snapshot.
+	CheckpointSink func(*checkpoint.Checkpoint) error
+	// Resume, when non-nil, restores the platform, thermal model, policy
+	// state and golden digest lineage from the checkpoint before the loop
+	// starts: the resumed run's final golden digest equals an uninterrupted
+	// run's. The platform/workload configuration must match the
+	// checkpointed run — a mismatch is rejected at restore time by the
+	// checkpoint's embedded state digest.
+	Resume *checkpoint.Checkpoint
+	// Fork skips Resume's golden-lineage seeding: the resumed run is a new
+	// experiment branching off the snapshot (what-if exploration from a
+	// shared warm-up prefix) rather than a continuation of the original.
+	Fork bool
 }
 
 // Sample is one closed-loop observation: the end of one sampling window.
@@ -185,6 +211,13 @@ func Run(cfg Config, onSample func(Sample)) (*Result, error) {
 	eval := NewPowerEvaluator(cfg.Host.FP)
 	eval.Leakage = cfg.Leakage
 	eval.DVFS = cfg.DVFS
+	// Checkpoint/resume setup. Resume restores the platform (clock, cores,
+	// memories, interconnect), the thermal model, the policy and the golden
+	// lineage here, before the first snapshot below is taken.
+	ck, resumedMax, err := newCkptRuntime(&cfg, p, eval)
+	if err != nil {
+		return nil, err
+	}
 	var disp *etherlink.Dispatcher
 	if cfg.Transport != nil {
 		var frz etherlink.Freezer = p.VPCM
@@ -223,9 +256,9 @@ func Run(cfg Config, onSample func(Sample)) (*Result, error) {
 		tscale = 1
 	}
 	if cfg.PipelineDepth > 0 {
-		return runPipelined(cfg, p, eval, disp, maxCycles, tscale, onSample)
+		return runPipelined(cfg, p, eval, disp, maxCycles, tscale, onSample, ck, resumedMax)
 	}
-	res := &Result{}
+	res := &Result{MaxTempK: resumedMax}
 	start := time.Now()
 	prev := p.Snapshot()
 	// committed tracks the last fully-solved sampling window; an abort
@@ -234,6 +267,7 @@ func Run(cfg Config, onSample func(Sample)) (*Result, error) {
 	powers := make([]float64, cfg.Host.NumComponents())
 	powerUW := make([]uint32, cfg.Host.NumComponents())
 	partial := func(err error) (*Result, error) {
+		err = ck.flushPartial(err, res.MaxTempK)
 		res.Partial = true
 		res.FinalSnap = committed
 		res.Cycles = committed.Cycle
@@ -351,6 +385,12 @@ func Run(cfg Config, onSample func(Sample)) (*Result, error) {
 		// The window is committed only once its temperatures arrived and the
 		// policy ran: from here on its snapshot is safe to report.
 		committed = snap
+		ck.commit(compTemps)
+		if ck.due() {
+			if err := ck.write(false, res.MaxTempK); err != nil {
+				return partial(err)
+			}
+		}
 	}
 
 	if disp != nil {

@@ -89,7 +89,7 @@ func thermalLagPs(v *vpcm.VPCM) uint64 {
 // in in-process mode.
 func runPipelined(cfg Config, p *emu.Platform, eval *PowerEvaluator,
 	disp *etherlink.Dispatcher, maxCycles uint64, tscale float64,
-	onSample func(Sample)) (*Result, error) {
+	onSample func(Sample), ck *ckptRuntime, resumedMax float64) (*Result, error) {
 
 	depth := cfg.PipelineDepth
 	ncomp := cfg.Host.NumComponents()
@@ -104,7 +104,7 @@ func runPipelined(cfg Config, p *emu.Platform, eval *PowerEvaluator,
 	done := make(chan *window, depth+1)
 	go solveStage(cfg, disp, work, done)
 
-	res := &Result{}
+	res := &Result{MaxTempK: resumedMax}
 	start := time.Now()
 	var snap0 emu.Snapshot
 	p.SnapshotInto(&snap0)
@@ -191,6 +191,7 @@ func runPipelined(cfg Config, p *emu.Platform, eval *PowerEvaluator,
 		}
 		w.snap.CopyInto(&committed)
 		applied++
+		ck.commit(w.compTemps)
 		free <- w
 	}
 
@@ -202,6 +203,9 @@ func runPipelined(cfg Config, p *emu.Platform, eval *PowerEvaluator,
 		}
 		for range done {
 		}
+		// The solver has exited (the drain above closed its output), so the
+		// thermal model is quiescent and safe to snapshot for the flush.
+		err = ck.flushPartial(err, res.MaxTempK)
 		res.Partial = true
 		res.FinalSnap = committed
 		res.Cycles = committed.Cycle
@@ -217,9 +221,33 @@ func runPipelined(cfg Config, p *emu.Platform, eval *PowerEvaluator,
 	}
 
 	for !p.AllHalted() && p.VPCM.Cycle() < maxCycles {
+		// Checkpoint boundary: drain every in-flight window so the platform
+		// state and all committed feedback coincide — a pipeline flush —
+		// then cut the checkpoint. The drain applies feedback earlier than
+		// the steady-state schedule, so the cadence is part of the run's
+		// determinism contract (see Config.CheckpointEvery).
+		if ck.pending(seq - applied) {
+			for applied < seq {
+				w, ok := recvFeedback()
+				if !ok {
+					return finishPartial(fmt.Errorf("core: pipeline solver exited early"), false)
+				}
+				if w.err != nil {
+					err := w.err
+					free <- w
+					return finishPartial(err, false)
+				}
+				apply(w)
+			}
+			if err := ck.write(false, res.MaxTempK); err != nil {
+				return finishPartial(err, false)
+			}
+		}
 		// Deterministic feedback boundary: before window seq+1 emulates,
-		// window seq-depth's feedback must be in effect.
-		if seq >= uint64(depth)+1 {
+		// window seq-depth's feedback must be in effect. (seq-applied is the
+		// in-flight count; a checkpoint drain resets it to 0 and the
+		// pipeline refills.)
+		if seq-applied > uint64(depth) {
 			w, ok := recvFeedback()
 			if !ok {
 				return finishPartial(fmt.Errorf("core: pipeline solver exited early"), false)

@@ -1,0 +1,54 @@
+package cpu
+
+import (
+	"errors"
+
+	"thermemu/internal/isa"
+)
+
+// CoreState is the complete checkpointable architectural and accounting
+// state of one core. Faults are carried as their message: restoring loses
+// the concrete error type, but every consumer of a restored platform (the
+// run loop, the golden digest) only inspects the message.
+type CoreState struct {
+	Regs     [isa.NumRegs]uint32
+	PC       uint32
+	Stall    uint64
+	Halt     bool
+	FaultMsg string
+	HasFault bool
+	Mode     State
+	Stats    Stats
+}
+
+// SaveState captures the core for checkpointing. The decode cache is a pure
+// memo and deliberately not part of the state.
+func (c *Core) SaveState() CoreState {
+	s := CoreState{
+		Regs:  c.regs,
+		PC:    c.pc,
+		Stall: c.stall,
+		Halt:  c.halt,
+		Mode:  c.state,
+		Stats: c.stats,
+	}
+	if c.fault != nil {
+		s.HasFault = true
+		s.FaultMsg = c.fault.Error()
+	}
+	return s
+}
+
+// RestoreState rewinds the core to a saved state.
+func (c *Core) RestoreState(s CoreState) {
+	c.regs = s.Regs
+	c.pc = s.PC
+	c.stall = s.Stall
+	c.halt = s.Halt
+	c.state = s.Mode
+	c.stats = s.Stats
+	c.fault = nil
+	if s.HasFault {
+		c.fault = errors.New(s.FaultMsg)
+	}
+}

@@ -82,6 +82,27 @@ func (t *Trace) Record(cycle uint64, core int, field string, value uint64) {
 	}
 }
 
+// Seed primes a fresh digest-only trace with a saved accumulator, so a
+// resumed run continues the digest lineage of the run that wrote the
+// checkpoint: records folded after Seed extend the original stream exactly
+// as if the run had never stopped. Seeding a trace that has already folded
+// records, or one that keeps a journal (the pre-seed records are gone, so
+// localisation would silently lie), is an error.
+func (t *Trace) Seed(sum uint64, n int) error {
+	if t.n != 0 {
+		return fmt.Errorf("golden: cannot seed a trace holding %d records", t.n)
+	}
+	if t.keep {
+		return fmt.Errorf("golden: cannot seed a journaling trace")
+	}
+	t.sum, t.n = sum, n
+	return nil
+}
+
+// State returns the digest accumulator (sum, record count), the pair Seed
+// needs to continue this trace in another run.
+func (t *Trace) State() (sum uint64, n int) { return t.sum, t.n }
+
 // Len returns the number of records folded into the digest so far.
 func (t *Trace) Len() int { return t.n }
 

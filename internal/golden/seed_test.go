@@ -1,0 +1,118 @@
+package golden
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSeedContinuesLineage: folding records 0..k into one trace, seeding a
+// second trace with its state and folding k..n there must yield the exact
+// digest of folding 0..n into a single trace — the checkpoint/resume digest
+// contract.
+func TestSeedContinuesLineage(t *testing.T) {
+	full := New()
+	for i := uint64(0); i < 100; i++ {
+		full.Record(i, int(i%4), "pc", i*i)
+	}
+
+	head := New()
+	for i := uint64(0); i < 37; i++ {
+		head.Record(i, int(i%4), "pc", i*i)
+	}
+	sum, n := head.State()
+	if n != 37 {
+		t.Fatalf("head state n = %d, want 37", n)
+	}
+
+	tail := New()
+	if err := tail.Seed(sum, n); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	if tail.Len() != 37 {
+		t.Fatalf("seeded trace Len = %d, want 37", tail.Len())
+	}
+	for i := uint64(37); i < 100; i++ {
+		tail.Record(i, int(i%4), "pc", i*i)
+	}
+	if tail.Sum64() != full.Sum64() || tail.Len() != full.Len() {
+		t.Fatalf("seeded lineage %s/%d != uninterrupted %s/%d",
+			tail.Hex(), tail.Len(), full.Hex(), full.Len())
+	}
+	if Compare(tail, full) != nil {
+		t.Fatal("seeded and uninterrupted traces compare unequal")
+	}
+}
+
+// TestSeedRejectsUsedTrace: seeding must be refused once records have been
+// folded — the lineage would silently skip them.
+func TestSeedRejectsUsedTrace(t *testing.T) {
+	tr := New()
+	tr.Record(0, 0, "pc", 4)
+	if err := tr.Seed(1, 1); err == nil {
+		t.Fatal("seeding a used trace succeeded")
+	}
+}
+
+// TestSeedRejectsJournal: a journaling trace cannot be seeded — the pre-seed
+// records are gone, so localisation against it would lie.
+func TestSeedRejectsJournal(t *testing.T) {
+	if err := NewJournal().Seed(1, 1); err == nil {
+		t.Fatal("seeding a journaling trace succeeded")
+	}
+}
+
+// TestCompareMixedJournalFallsBackToDigest: when only one side kept a
+// journal, Compare can report the mismatch but not localise it.
+func TestCompareMixedJournalFallsBackToDigest(t *testing.T) {
+	a, b := NewJournal(), New()
+	a.Record(0, 0, "pc", 4)
+	b.Record(0, 0, "pc", 8)
+	d := Compare(a, b)
+	if d == nil {
+		t.Fatal("divergent traces compared equal")
+	}
+	if d.Index != -1 || d.A != nil || d.B != nil {
+		t.Fatalf("mixed-journal compare localised from one journal: %+v", d)
+	}
+}
+
+// TestCompareBPrefix covers the mirror of the A-prefix path: trace B ends
+// early and the report names it.
+func TestCompareBPrefix(t *testing.T) {
+	a, b := NewJournal(), NewJournal()
+	a.Record(0, 0, "pc", 4)
+	a.Record(8, 0, "pc", 8)
+	b.Record(0, 0, "pc", 4)
+	d := Compare(a, b)
+	if d == nil {
+		t.Fatal("prefix traces compared equal")
+	}
+	if d.Index != 1 || d.B != nil || d.A == nil {
+		t.Fatalf("B-prefix divergence not reported: %+v", d)
+	}
+	if !strings.Contains(d.String(), "trace B ended") {
+		t.Errorf("B-prefix report %q does not name the short trace", d.String())
+	}
+}
+
+// TestDivergenceNilString: the nil report renders as identity, so callers
+// can print Compare's result unconditionally.
+func TestDivergenceNilString(t *testing.T) {
+	var d *Divergence
+	if got := d.String(); got != "traces identical" {
+		t.Fatalf("nil divergence renders %q", got)
+	}
+}
+
+// TestRecordStringForms covers both the per-core and platform-wide record
+// renderings used in divergence reports.
+func TestRecordStringForms(t *testing.T) {
+	r := Record{Cycle: 5, Core: 2, Field: "pc", Value: 16}
+	if got := r.String(); !strings.Contains(got, "core 2") || !strings.Contains(got, "pc") {
+		t.Errorf("per-core record renders %q", got)
+	}
+	r.Core = -1
+	if got := r.String(); strings.Contains(got, "core") {
+		t.Errorf("platform-wide record renders %q", got)
+	}
+}

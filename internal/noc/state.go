@@ -1,0 +1,34 @@
+package noc
+
+import "fmt"
+
+// State is the complete checkpointable network state: per-link busy
+// horizons, per-link utilisation and the global counters. Routes are
+// config-derived and rebuilt at construction, so they are not state.
+type State struct {
+	LinkBusy []uint64
+	LinkUse  []uint64
+	Stats    Stats
+}
+
+// SaveState captures the network for checkpointing.
+func (n *Network) SaveState() State {
+	return State{
+		LinkBusy: append([]uint64(nil), n.linkBusy...),
+		LinkUse:  append([]uint64(nil), n.linkUse...),
+		Stats:    n.stats,
+	}
+}
+
+// RestoreState rewinds the network to a saved state. The link count must
+// match the live topology.
+func (n *Network) RestoreState(s State) error {
+	if len(s.LinkBusy) != len(n.topo.Links) || len(s.LinkUse) != len(n.topo.Links) {
+		return fmt.Errorf("noc %s: checkpoint has %d/%d links, topology has %d",
+			n.topo.Name, len(s.LinkBusy), len(s.LinkUse), len(n.topo.Links))
+	}
+	copy(n.linkBusy, s.LinkBusy)
+	copy(n.linkUse, s.LinkUse)
+	n.stats = s.Stats
+	return nil
+}

@@ -1,0 +1,40 @@
+package tm
+
+// PolicyState is the checkpointable state of a stateful thermal-management
+// policy. It is a superset: each policy uses the fields it needs and leaves
+// the rest zero.
+type PolicyState struct {
+	Throttled  bool   // ThresholdDFS: currently holding the low frequency
+	LastFreqHz uint64 // ProportionalDFS: last frequency requested
+	Switches   int    // DFS transitions performed
+}
+
+// Checkpointable is implemented by policies with internal state that must
+// survive a checkpoint/resume cycle. Stateless policies (NullPolicy) need
+// not implement it.
+type Checkpointable interface {
+	CheckpointState() PolicyState
+	RestoreCheckpoint(PolicyState)
+}
+
+// CheckpointState implements Checkpointable.
+func (p *ThresholdDFS) CheckpointState() PolicyState {
+	return PolicyState{Throttled: p.throttled, Switches: p.Switches}
+}
+
+// RestoreCheckpoint implements Checkpointable.
+func (p *ThresholdDFS) RestoreCheckpoint(s PolicyState) {
+	p.throttled = s.Throttled
+	p.Switches = s.Switches
+}
+
+// CheckpointState implements Checkpointable.
+func (p *ProportionalDFS) CheckpointState() PolicyState {
+	return PolicyState{LastFreqHz: p.last, Switches: p.Switches}
+}
+
+// RestoreCheckpoint implements Checkpointable.
+func (p *ProportionalDFS) RestoreCheckpoint(s PolicyState) {
+	p.last = s.LastFreqHz
+	p.Switches = s.Switches
+}

@@ -1,0 +1,108 @@
+package vpcm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SourceCycles attributes suppression cycles to a named source in a
+// checkpointable (deterministically ordered) form.
+type SourceCycles struct {
+	Source string
+	Cycles uint64
+}
+
+// SourcePs attributes frozen picoseconds to a named source.
+type SourcePs struct {
+	Source string
+	Ps     uint64
+}
+
+// State is the complete checkpointable clock state. Maps are flattened to
+// slices sorted by source name so two saves of the same clock are
+// structurally identical. Held freezes are deliberately absent: checkpoints
+// are taken at window boundaries where the loop is quiescent and no source
+// holds the virtual clock frozen.
+type State struct {
+	PhysHz      uint64
+	VirtHz      uint64
+	Cycle       uint64
+	TimePs      uint64
+	WallPs      uint64
+	FrozenPs    uint64
+	Suppression []SourceCycles
+	FrozenBySrc []SourcePs
+	History     []FreqChange
+}
+
+// SaveState captures the clock for checkpointing.
+func (v *VPCM) SaveState() State {
+	s := State{
+		PhysHz:   v.physHz,
+		VirtHz:   v.virtHz,
+		Cycle:    v.cycle,
+		TimePs:   v.timePs,
+		History:  append([]FreqChange(nil), v.history...),
+		FrozenPs: v.FrozenPs(),
+	}
+	v.suppMu.Lock()
+	s.WallPs = v.wallPs
+	s.Suppression = make([]SourceCycles, 0, len(v.suppress))
+	for src, c := range v.suppress {
+		s.Suppression = append(s.Suppression, SourceCycles{src, c})
+	}
+	v.suppMu.Unlock()
+	sort.Slice(s.Suppression, func(i, j int) bool {
+		return s.Suppression[i].Source < s.Suppression[j].Source
+	})
+	v.freezeMu.Lock()
+	s.FrozenBySrc = make([]SourcePs, 0, len(v.frozenBySrc))
+	for src, ps := range v.frozenBySrc {
+		s.FrozenBySrc = append(s.FrozenBySrc, SourcePs{src, ps})
+	}
+	v.freezeMu.Unlock()
+	sort.Slice(s.FrozenBySrc, func(i, j int) bool {
+		return s.FrozenBySrc[i].Source < s.FrozenBySrc[j].Source
+	})
+	return s
+}
+
+// RestoreState rewinds the clock to a saved state. The physical oscillator
+// frequency is construction-time configuration, so a mismatch means the
+// checkpoint belongs to a differently configured platform.
+func (v *VPCM) RestoreState(s State) error {
+	if s.PhysHz != v.physHz {
+		return fmt.Errorf("vpcm: checkpoint physical clock %d Hz, platform has %d Hz", s.PhysHz, v.physHz)
+	}
+	if s.VirtHz == 0 {
+		return fmt.Errorf("vpcm: checkpoint virtual frequency is zero")
+	}
+	if len(s.History) == 0 {
+		return fmt.Errorf("vpcm: checkpoint has empty frequency history")
+	}
+	if last := s.History[len(s.History)-1].Hz; last != s.VirtHz {
+		return fmt.Errorf("vpcm: history ends at %d Hz but virtual clock is %d Hz", last, s.VirtHz)
+	}
+	v.virtHz = s.VirtHz
+	v.cycle = s.Cycle
+	v.timePs = s.TimePs
+	v.history = append([]FreqChange(nil), s.History...)
+	v.frozen = make(map[string]bool)
+	v.suppMu.Lock()
+	v.wallPs = s.WallPs
+	v.suppress = make(map[string]uint64, len(s.Suppression))
+	v.suppTotal = 0
+	for _, sc := range s.Suppression {
+		v.suppress[sc.Source] = sc.Cycles
+		v.suppTotal += sc.Cycles
+	}
+	v.suppMu.Unlock()
+	v.freezeMu.Lock()
+	v.frozenPs = s.FrozenPs
+	v.frozenBySrc = make(map[string]uint64, len(s.FrozenBySrc))
+	for _, sp := range s.FrozenBySrc {
+		v.frozenBySrc[sp.Source] = sp.Ps
+	}
+	v.freezeMu.Unlock()
+	return nil
+}

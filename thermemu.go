@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"time"
 
+	"thermemu/internal/checkpoint"
 	"thermemu/internal/core"
 	"thermemu/internal/emu"
 	"thermemu/internal/etherlink"
@@ -84,6 +85,22 @@ type (
 	// GoldenDivergence localises the first difference between two journaled
 	// golden traces (cycle, core, field, both values).
 	GoldenDivergence = golden.Divergence
+	// Checkpoint is a versioned full-state snapshot of a run at a sampling
+	// window boundary: platform architectural state, thermal/policy loop
+	// state and golden digest lineage, with an embedded state digest that
+	// rejects corrupt or mismatched snapshots at load time. Produce them
+	// with CoEmulationConfig.CheckpointSink, consume with
+	// CoEmulationConfig.Resume (or Fork).
+	Checkpoint = checkpoint.Checkpoint
+	// CheckpointStore is an ordered in-memory checkpoint collection, the
+	// replay debugger's seek index.
+	CheckpointStore = checkpoint.Store
+	// Replayer rebuilds one side of a divergence investigation for
+	// ReplayToDivergence.
+	Replayer = checkpoint.Replayer
+	// ReplayReport pins a divergence to its exact cycle with the differing
+	// fields and both sides' full state dumps.
+	ReplayReport = checkpoint.Report
 )
 
 // ErrNoConvergence is the sentinel wrapped by SteadyState errors when the
@@ -250,6 +267,22 @@ func NewGoldenJournal() *GoldenTrace { return golden.NewJournal() }
 // CompareGolden returns nil when two golden traces digest the same emulation,
 // otherwise a divergence report (localised when both traces are journals).
 func CompareGolden(a, b *GoldenTrace) *GoldenDivergence { return golden.Compare(a, b) }
+
+// ReadCheckpoint loads and verifies a checkpoint file written by a
+// CheckpointSink (e.g. Checkpoint.WriteFile): the strict decoder rejects
+// truncated, corrupted or trailing-garbage streams.
+func ReadCheckpoint(path string) (*Checkpoint, error) { return checkpoint.ReadFile(path) }
+
+// ReplayToDivergence lockstep-replays two sides from their nearest common
+// checkpoint with the per-cycle reference kernel and reports the exact
+// cycle, core and fields where their architectural state first disagrees.
+// hintCycle usually comes from ReplayHint on a golden divergence.
+func ReplayToDivergence(a, b *Replayer, hintCycle uint64) (*ReplayReport, error) {
+	return checkpoint.ReplayToDivergence(a, b, hintCycle)
+}
+
+// ReplayHint extracts the replay target cycle from a golden divergence.
+func ReplayHint(d *GoldenDivergence) (uint64, bool) { return checkpoint.HintFromDivergence(d) }
 
 // RunWorkloadGolden is RunWorkload with conformance sampling: a statistics
 // snapshot is folded into tr every `every` cycles plus the platform's full
