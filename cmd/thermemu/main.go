@@ -42,6 +42,7 @@ func main() {
 		ic       = flag.String("ic", "opb", "interconnect: opb | plb | custom | noc")
 		nocSpec  = flag.String("noc", "pair", "NoC topology when -ic noc: pair | mesh:WxH | ring:N")
 		freqMHz  = flag.Int("freq", 0, "virtual clock in MHz (0 = platform default)")
+		blocks   = flag.Bool("blocks", false, "threaded-code block dispatch: translate straight-line R32 blocks at first execution (bit-identical results, faster on compute-bound code)")
 		withTM   = flag.Bool("tm", false, "enable the 350K/340K threshold DFS policy")
 		windowMs = flag.Float64("window", 1.0, "sampling window in virtual ms")
 		pipeline = flag.Int("pipeline", 0, "pipeline depth: overlap emulation with the thermal solve at a sensor latency of this many windows (0 = serial loop)")
@@ -66,7 +67,7 @@ func main() {
 	)
 	flag.Parse()
 	if err := profiled(*cpuProf, *memProf, func() error {
-		return run(*cores, *workload, *n, *iters, *size, *ic, *nocSpec, *freqMHz, *withTM,
+		return run(*cores, *workload, *n, *iters, *size, *ic, *nocSpec, *freqMHz, *blocks, *withTM,
 			*windowMs, *pipeline, *tscale, *cells, *workers, *csvPath, *hostAddr, *fault, *faultSeed,
 			*redial, *report, *digest, *ckptDir, *ckptEvery, *resume, *fork, *vcdPath, *jsonPath)
 	}); err != nil {
@@ -108,7 +109,7 @@ func profiled(cpuPath, memPath string, body func() error) error {
 }
 
 func run(cores int, workload string, n, iters, size int, ic, nocSpec string, freqMHz int,
-	withTM bool, windowMs float64, pipeline int, tscale float64, cells, workers int,
+	blocks, withTM bool, windowMs float64, pipeline int, tscale float64, cells, workers int,
 	csvPath, hostAddr, fault string, faultSeed int64, redial, report, digest bool,
 	ckptDir string, ckptEvery int, resumePath, forkPath string,
 	vcdPath, jsonPath string) error {
@@ -136,6 +137,7 @@ func run(cores int, workload string, n, iters, size int, ic, nocSpec string, fre
 	if freqMHz > 0 {
 		pcfg.FreqHz = uint64(freqMHz) * 1e6
 	}
+	pcfg.Blocks = blocks
 
 	var spec *thermemu.Workload
 	var err error

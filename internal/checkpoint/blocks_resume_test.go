@@ -1,0 +1,90 @@
+package checkpoint_test
+
+// Satellite of the threaded-code block dispatch PR: checkpoints must carry
+// no translated-block state, so a checkpoint is interchangeable between
+// interpreter and block-dispatch platforms, and a resume into a
+// block-dispatch platform starts from a cold cache mid-hot-loop and still
+// reproduces the interpreter's golden digest bit-for-bit.
+
+import (
+	"testing"
+
+	"thermemu/internal/checkpoint"
+	"thermemu/internal/emu"
+	"thermemu/internal/golden"
+	"thermemu/internal/workloads"
+)
+
+func buildBlocksCase(t *testing.T, blocks bool) *emu.Platform {
+	t.Helper()
+	cfg := emu.DefaultConfig(2)
+	cfg.Blocks = blocks
+	p := emu.MustNew(cfg)
+	spec, err := workloads.Matrix(2, 4, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadSpec(t, p, spec)
+	return p
+}
+
+func TestResumeBlocksColdCache(t *testing.T) {
+	// Reference: the uninterrupted interpreter run.
+	straight := golden.New()
+	ref := buildBlocksCase(t, false)
+	ref.RunDigest(matrixMax, matrixEvery, straight)
+
+	// Checkpointed run with block dispatch on: capture a checkpoint and the
+	// digest accumulator at every window boundary. Windows land mid-loop, so
+	// the blocks are hot at every capture point.
+	type point struct {
+		ck  *checkpoint.Checkpoint
+		sum uint64
+		n   int
+	}
+	var pts []point
+	tr := golden.New()
+	q := buildBlocksCase(t, true)
+	for q.VPCM.Cycle() < matrixMax && !q.AllHalted() {
+		stepDigestWindow(q, false)
+		emu.DigestSnapshot(tr, q.Snapshot())
+		sum, n := tr.State()
+		pts = append(pts, point{checkpoint.FromPlatform(q), sum, n})
+	}
+	q.DigestInto(tr)
+	if tr.Sum64() != straight.Sum64() || tr.Len() != straight.Len() {
+		t.Fatalf("blocks straight run digest %s/%d != interpreter %s/%d",
+			tr.Hex(), tr.Len(), straight.Hex(), straight.Len())
+	}
+	if len(pts) < 3 {
+		t.Fatalf("workload too short: %d windows", len(pts))
+	}
+
+	// Resume the mid-run checkpoint into both kernel flavours: the stream
+	// holds no translated state, so a blocks platform restores to a cold
+	// cache and an interpreter platform restores to exactly the same bits.
+	mid := pts[len(pts)/2]
+	for _, blocks := range []bool{true, false} {
+		ck, err := checkpoint.Decode(checkpoint.Encode(mid.ck))
+		if err != nil {
+			t.Fatalf("blocks=%v: decode: %v", blocks, err)
+		}
+		r := buildBlocksCase(t, blocks)
+		if err := ck.Apply(r); err != nil {
+			t.Fatalf("blocks=%v: apply: %v", blocks, err)
+		}
+		rtr := golden.New()
+		if err := rtr.Seed(mid.sum, mid.n); err != nil {
+			t.Fatal(err)
+		}
+		for r.VPCM.Cycle() < matrixMax && !r.AllHalted() {
+			stepDigestWindow(r, false)
+			emu.DigestSnapshot(rtr, r.Snapshot())
+		}
+		r.DigestInto(rtr)
+		if rtr.Sum64() != straight.Sum64() || rtr.Len() != straight.Len() {
+			t.Errorf("resume into blocks=%v: digest %s/%d, want %s/%d",
+				blocks, rtr.Hex(), rtr.Len(), straight.Hex(), straight.Len())
+		}
+	}
+}

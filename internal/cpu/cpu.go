@@ -138,6 +138,13 @@ type Core struct {
 	// choke point all stepping kernels flow through — so span-accrued and
 	// per-cycle stepping produce identical sniffer counters.
 	act *sniffer.Activity
+	// blocks, when enabled, caches pre-decoded straight-line blocks for
+	// StepBlocks (see block.go). Derived state: flushed on Reset and
+	// RestoreState, invalidated by code-range stores, never serialized.
+	blocks *blockCache
+	// issueHook, when set, fires before every block-dispatched instruction
+	// (the parallel kernel's per-instruction gate refresh; see SetIssueHook).
+	issueHook func(cycle uint64)
 }
 
 // New creates a core attached to its memory controller. The VLIW2 preset
@@ -215,6 +222,10 @@ func (c *Core) Stats() Stats { return c.stats }
 func (c *Core) ResetStats() { c.stats = Stats{} }
 
 // Reset returns the core to its power-on state at the given entry point.
+// Translated blocks are discarded: program loaders write code through
+// Memory.WriteBytes (below the controller's code-write hook) and then
+// Reset, so the flush here is what keeps the block cache coherent across
+// reloads.
 func (c *Core) Reset(entry uint32) {
 	c.regs = [isa.NumRegs]uint32{}
 	c.pc = entry
@@ -223,6 +234,7 @@ func (c *Core) Reset(entry uint32) {
 	c.fault = nil
 	c.state = Active
 	c.stats = Stats{}
+	c.flushBlocks()
 }
 
 // AccrueIdle charges n idle cycles to a halted core without stepping it.

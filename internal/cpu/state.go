@@ -22,7 +22,9 @@ type CoreState struct {
 }
 
 // SaveState captures the core for checkpointing. The decode cache is a pure
-// memo and deliberately not part of the state.
+// memo and the block cache is derived dispatch state; neither is part of
+// the state — a restored core re-translates from the restored memory image,
+// so no decoded representation ever leaks into TMCK streams.
 func (c *Core) SaveState() CoreState {
 	s := CoreState{
 		Regs:  c.regs,
@@ -39,8 +41,11 @@ func (c *Core) SaveState() CoreState {
 	return s
 }
 
-// RestoreState rewinds the core to a saved state.
+// RestoreState rewinds the core to a saved state. The block cache restores
+// cold: checkpoints carry no derived dispatch state, and blocks translated
+// from the pre-restore memory image must not survive into the restored one.
 func (c *Core) RestoreState(s CoreState) {
+	c.flushBlocks()
 	c.regs = s.Regs
 	c.pc = s.PC
 	c.stall = s.Stall

@@ -37,10 +37,11 @@ func benchSpec(b *testing.B, stall bool, cores int) *workloads.Spec {
 	return spec
 }
 
-func benchPlatform(b *testing.B, spec *workloads.Spec, cores int, parallel bool) *emu.Platform {
+func benchPlatform(b *testing.B, spec *workloads.Spec, cores int, parallel, blocks bool) *emu.Platform {
 	b.Helper()
 	cfg := emu.DefaultConfig(cores)
 	cfg.Parallel = parallel
+	cfg.Blocks = blocks
 	p := emu.MustNew(cfg)
 	for i, im := range spec.Programs {
 		if err := p.LoadProgram(i, im); err != nil {
@@ -53,12 +54,12 @@ func benchPlatform(b *testing.B, spec *workloads.Spec, cores int, parallel bool)
 	return p
 }
 
-func benchKernel(b *testing.B, stall bool, cores int, parallel bool) {
+func benchKernel(b *testing.B, stall bool, cores int, parallel, blocks bool) {
 	spec := benchSpec(b, stall, cores)
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		p := benchPlatform(b, spec, cores, parallel)
+		p := benchPlatform(b, spec, cores, parallel, blocks)
 		b.StartTimer()
 		var (
 			cyc  uint64
@@ -80,12 +81,12 @@ func benchKernel(b *testing.B, stall bool, cores int, parallel bool) {
 func BenchmarkRunSerial(b *testing.B) {
 	for _, cores := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
-			benchKernel(b, false, cores, false)
+			benchKernel(b, false, cores, false, false)
 		})
 	}
 	for _, cores := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("stall/cores=%d", cores), func(b *testing.B) {
-			benchKernel(b, true, cores, false)
+			benchKernel(b, true, cores, false, false)
 		})
 	}
 }
@@ -93,12 +94,42 @@ func BenchmarkRunSerial(b *testing.B) {
 func BenchmarkRunParallel(b *testing.B) {
 	for _, cores := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
-			benchKernel(b, false, cores, true)
+			benchKernel(b, false, cores, true, false)
 		})
 	}
 	for _, cores := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("stall/cores=%d", cores), func(b *testing.B) {
-			benchKernel(b, true, cores, true)
+			benchKernel(b, true, cores, true, false)
+		})
+	}
+}
+
+// The Blocks variants run the same workloads with threaded-code block
+// dispatch enabled (Config.Blocks). The matrix rows are the headline
+// numbers of the translation kernel; the stall rows prove skip-ahead
+// workloads don't regress when blocks are on.
+func BenchmarkRunSerialBlocks(b *testing.B) {
+	for _, cores := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
+			benchKernel(b, false, cores, false, true)
+		})
+	}
+	for _, cores := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("stall/cores=%d", cores), func(b *testing.B) {
+			benchKernel(b, true, cores, false, true)
+		})
+	}
+}
+
+func BenchmarkRunParallelBlocks(b *testing.B) {
+	for _, cores := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
+			benchKernel(b, false, cores, true, true)
+		})
+	}
+	for _, cores := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("stall/cores=%d", cores), func(b *testing.B) {
+			benchKernel(b, true, cores, true, true)
 		})
 	}
 }

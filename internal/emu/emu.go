@@ -145,6 +145,16 @@ type Config struct {
 	// Parallel-built platform also works and behaves identically.
 	// Incompatible with EventLogging.
 	Parallel bool
+
+	// Blocks enables threaded-code basic-block dispatch: straight-line R32
+	// runs are discovered at first execution, pre-decoded once and executed
+	// whole, with the kernels falling back to per-cycle Step at block
+	// exits, stalls, shared-path windows and self-modifying-code
+	// invalidations. Bit-identical to Blocks=false — same digests, stats,
+	// event logs and checkpoints (the block cache is derived state, rebuilt
+	// after restore) — but substantially faster on compute-bound workloads.
+	// Works with both the serial and the parallel kernel.
+	Blocks bool
 }
 
 // DefaultConfig mirrors the Table 3 exploration platform: N cores with 4 KB
@@ -380,6 +390,19 @@ func New(cfg Config) (*Platform, error) {
 			kind = cfg.CoreKinds[i]
 		}
 		core := cpu.New(i, kind, ctl)
+		if cfg.Blocks {
+			core.EnableBlocks()
+			if cfg.Parallel {
+				// Block-dispatched instructions must refresh the shared-path
+				// gate exactly like the parallel runner does before each
+				// Step, so gated accesses park at the right (cycle, coreID).
+				g := p.sched.gates[i]
+				core.SetIssueHook(func(cyc uint64) {
+					g.cycle = cyc
+					g.held = false
+				})
+			}
+		}
 		p.Cores = append(p.Cores, core)
 		p.Ctrls = append(p.Ctrls, ctl)
 		p.Privs = append(p.Privs, priv)
@@ -585,6 +608,12 @@ func (p *Platform) stepSpan(limit uint64) {
 		wake[i] = c.WakeCycle(start)
 	}
 
+	// stop tracks one past the latest cycle on which a core halted this
+	// span: where the per-cycle kernel would stop once the last core halts.
+	// Block dispatch can retire a halt many cycles past the current event
+	// cycle, so this is tracked explicitly rather than read off the loop
+	// variable.
+	stop := start
 	cyc := start
 	for live > 0 && cyc < limit {
 		// Jump to the next event: the earliest wake, bounded by the
@@ -618,12 +647,47 @@ func (p *Platform) stepSpan(limit uint64) {
 				p.skip.SkippedCycles += s
 				c.AccrueStall(s)
 			}
+			if p.Cfg.Blocks {
+				// Block window: run translated blocks up to the earliest
+				// cycle any *other* core acts. Until then every other core
+				// is pure stall/idle time, so this core's view of shared
+				// state — and everyone's view of its writes — is exactly
+				// the serial interleaving. (Cores due this same cycle make
+				// the window empty, falling back to lockstep Step below.)
+				w := limit
+				for j, wj := range wake {
+					if j != i && wj < w {
+						w = wj
+					}
+				}
+				if w > cyc {
+					if n, bsteps, bskip := c.StepBlocks(cyc, w-cyc); n > 0 {
+						p.skip.CoreSteps += bsteps
+						p.skip.EventCycles += bsteps
+						p.skip.SkippedCycles += bskip
+						if c.Halted() {
+							live--
+							wake[i] = cpu.WakeNever
+							idleFrom[i] = cyc + n
+							if cyc+n > stop {
+								stop = cyc + n
+							}
+						} else {
+							wake[i] = c.WakeCycle(cyc + n)
+						}
+						continue
+					}
+				}
+			}
 			c.Step(cyc)
 			p.skip.CoreSteps++
 			if c.Halted() {
 				live--
 				wake[i] = cpu.WakeNever
 				idleFrom[i] = cyc + 1
+				if cyc+1 > stop {
+					stop = cyc + 1
+				}
 			} else {
 				wake[i] = c.WakeCycle(cyc + 1)
 			}
@@ -634,8 +698,8 @@ func (p *Platform) stepSpan(limit uint64) {
 	// End of span: when the last core halted at cycle h the per-cycle
 	// kernel stops after sweeping h (time h+1); otherwise at limit.
 	end := limit
-	if live == 0 && cyc < limit {
-		end = cyc
+	if live == 0 && stop < limit {
+		end = stop
 	}
 
 	// Flush the open spans so observers between kernel calls (snapshots,

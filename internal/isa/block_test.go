@@ -1,0 +1,175 @@
+package isa
+
+import "testing"
+
+// windowFetch builds a ScanBlock fetch function over a word window based at
+// address base. Fetches outside [base, base+4*len(words)) report unmapped.
+func windowFetch(t *testing.T, base uint32, words []uint32) func(uint32) (uint32, bool) {
+	return func(addr uint32) (uint32, bool) {
+		if addr%4 != 0 {
+			t.Fatalf("ScanBlock fetched misaligned address %#x", addr)
+		}
+		if addr < base || uint64(addr) >= uint64(base)+uint64(len(words))*4 {
+			return 0, false
+		}
+		return words[(addr-base)/4], true
+	}
+}
+
+func TestScanBlockEndsAtControl(t *testing.T) {
+	words := []uint32{
+		Encode(Instr{Op: OpAddi, Rd: 1, Rs1: 0, Imm: 7}),
+		Encode(Instr{Op: OpLw, Rd: 2, Rs1: 1, Imm: 0}),
+		Encode(Instr{Op: OpBne, Rs1: 1, Rs2: 2, Imm: -2}),
+		Encode(Instr{Op: OpAddi, Rd: 3, Rs1: 0, Imm: 1}), // beyond the block
+	}
+	got, end := ScanBlock(0x100, windowFetch(t, 0x100, words), nil)
+	if end != EndControl || len(got) != 3 {
+		t.Fatalf("got %d instrs, end %v; want 3, control", len(got), end)
+	}
+	for i, in := range got {
+		if want := Decode(words[i]); in != want {
+			t.Errorf("instr %d = %+v, want %+v", i, in, want)
+		}
+	}
+}
+
+func TestScanBlockStopsBeforeIllegal(t *testing.T) {
+	bad := uint32(0xFFFFFFFF) // undefined opcode
+	if Decode(bad).Executable() {
+		t.Fatal("test word unexpectedly executable")
+	}
+	words := []uint32{
+		Encode(Instr{Op: OpAddi, Rd: 1, Rs1: 0, Imm: 1}),
+		bad,
+	}
+	got, end := ScanBlock(0, windowFetch(t, 0, words), nil)
+	if end != EndIllegal || len(got) != 1 {
+		t.Fatalf("got %d instrs, end %v; want 1, illegal (fault left to the interpreter)", len(got), end)
+	}
+}
+
+func TestScanBlockWindowEdgeAndUnaligned(t *testing.T) {
+	words := []uint32{Encode(Instr{Op: OpAddi, Rd: 1, Rs1: 1, Imm: 1})}
+	got, end := ScanBlock(0x200, windowFetch(t, 0x200, words), nil)
+	if end != EndUnmapped || len(got) != 1 {
+		t.Fatalf("window edge: got %d instrs, end %v; want 1, unmapped", len(got), end)
+	}
+	if got, end := ScanBlock(0x202, windowFetch(t, 0x200, words), nil); len(got) != 0 || end != EndUnmapped {
+		t.Fatalf("unaligned pc: got %d instrs, end %v; want empty, unmapped", len(got), end)
+	}
+}
+
+func TestScanBlockLimit(t *testing.T) {
+	words := make([]uint32, BlockMax+8)
+	for i := range words {
+		words[i] = Encode(Instr{Op: OpAddi, Rd: 1, Rs1: 1, Imm: 1})
+	}
+	got, end := ScanBlock(0, windowFetch(t, 0, words), nil)
+	if end != EndLimit || len(got) != BlockMax {
+		t.Fatalf("got %d instrs, end %v; want %d, limit", len(got), end, BlockMax)
+	}
+}
+
+func TestBlockEndString(t *testing.T) {
+	want := map[BlockEnd]string{
+		EndControl: "control", EndIllegal: "illegal",
+		EndUnmapped: "unmapped", EndLimit: "limit", BlockEnd(99): "end(?)",
+	}
+	for e, s := range want {
+		if e.String() != s {
+			t.Errorf("BlockEnd(%d).String() = %q, want %q", int(e), e.String(), s)
+		}
+	}
+}
+
+// FuzzBlockDiscovery throws random word windows and start addresses at
+// ScanBlock and checks every invariant the cpu block translator depends on
+// against the pure decoder: instructions match Decode, only the final
+// instruction may redirect control, non-executable words and window edges
+// are never entered, and the end reason is consistent with what lies past
+// the block.
+func FuzzBlockDiscovery(f *testing.F) {
+	add := func(ws ...uint32) {
+		buf := make([]byte, 4*len(ws))
+		for i, w := range ws {
+			buf[4*i], buf[4*i+1], buf[4*i+2], buf[4*i+3] = byte(w), byte(w>>8), byte(w>>16), byte(w>>24)
+		}
+		f.Add(buf, uint32(0))
+	}
+	add(Encode(Instr{Op: OpAddi, Rd: 1, Rs1: 0, Imm: 7}),
+		Encode(Instr{Op: OpHalt}))
+	add(Encode(Instr{Op: OpBeq, Imm: -1}))
+	add(Encode(Instr{Op: OpLw, Rd: 2, Rs1: 1}), 0xFFFFFFFF)
+	f.Add([]byte{}, uint32(0xFFFFFFFC))
+	f.Add([]byte{1, 2, 3, 4}, uint32(2)) // unaligned start
+
+	f.Fuzz(func(t *testing.T, data []byte, start uint32) {
+		words := make([]uint32, len(data)/4)
+		for i := range words {
+			words[i] = uint32(data[4*i]) | uint32(data[4*i+1])<<8 |
+				uint32(data[4*i+2])<<16 | uint32(data[4*i+3])<<24
+		}
+		fetch := func(addr uint32) (uint32, bool) {
+			if addr%4 != 0 {
+				t.Fatalf("misaligned fetch %#x", addr)
+			}
+			i := uint64(addr) / 4
+			if i >= uint64(len(words)) {
+				return 0, false
+			}
+			return words[i], true
+		}
+		got, end := ScanBlock(start, fetch, nil)
+		if len(got) > BlockMax {
+			t.Fatalf("block of %d instructions exceeds BlockMax %d", len(got), BlockMax)
+		}
+		if start%4 != 0 {
+			if len(got) != 0 || end != EndUnmapped {
+				t.Fatalf("unaligned start %#x: got %d instrs, end %v", start, len(got), end)
+			}
+			return
+		}
+		for i, in := range got {
+			addr := start + uint32(i)*4
+			w, ok := fetch(addr)
+			if !ok {
+				t.Fatalf("instr %d at %#x lies outside the readable window", i, addr)
+			}
+			if want := Decode(w); in != want {
+				t.Fatalf("instr %d at %#x = %+v, want Decode = %+v", i, addr, in, want)
+			}
+			if !in.Executable() {
+				t.Fatalf("instr %d at %#x is not executable; blocks must stop before faults", i, addr)
+			}
+			if in.Op.IsControl() && i != len(got)-1 {
+				t.Fatalf("control transfer at %d of %d is not the block end", i, len(got))
+			}
+		}
+		next := start + uint32(len(got))*4
+		wrapped := len(got) > 0 && next < start
+		switch end {
+		case EndControl:
+			if len(got) == 0 || !got[len(got)-1].Op.IsControl() {
+				t.Fatalf("EndControl but final instruction is not a control transfer")
+			}
+		case EndLimit:
+			if len(got) != BlockMax {
+				t.Fatalf("EndLimit with %d instructions, want %d", len(got), BlockMax)
+			}
+		case EndIllegal:
+			w, ok := fetch(next)
+			if wrapped || !ok || Decode(w).Executable() {
+				t.Fatalf("EndIllegal but the next word at %#x is not an executable-fault site", next)
+			}
+		case EndUnmapped:
+			if !wrapped {
+				if _, ok := fetch(next); ok {
+					t.Fatalf("EndUnmapped but the next word at %#x is readable", next)
+				}
+			}
+		default:
+			t.Fatalf("unknown end reason %v", end)
+		}
+	})
+}

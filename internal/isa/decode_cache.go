@@ -15,6 +15,20 @@ const DecodeCacheSize = 1 << DecodeCacheBits
 // the zero Instr (OpRType with all fields zero), so a zero-word lookup is
 // already a correct hit.
 //
+// The no-invalidation claim holds precisely because the key is the 32-bit
+// instruction word itself, never an address: the table caches the mapping
+// word → Instr, which is immutable, not the binding pc → word, which any
+// store or program reload can change. A reload that places different words
+// at the same addresses simply looks up (and possibly installs) different
+// keys; stale entries for the old words remain correct answers for those
+// words and are at worst evicted by collisions. Contrast the address-keyed
+// block cache of the cpu package, which caches pc → decoded straight-line
+// run and therefore must be invalidated by code-range stores (the memory
+// controller's code-write hook) and discarded wholesale on core reset and
+// checkpoint restore. TestDecodeCacheSurvivesReload pins the word-keyed
+// half of this contract; the cpu/emu self-modifying-code and reload tests
+// pin the address-keyed half.
+//
 // Each core owns one cache; sharing a table across the parallel kernel's
 // goroutines would race.
 type DecodeCache struct {

@@ -37,6 +37,44 @@ func TestDecodeCacheZeroWord(t *testing.T) {
 	}
 }
 
+// TestDecodeCacheSurvivesReload pins the no-invalidation contract from the
+// DecodeCache doc comment: the cache is keyed by the instruction *word*, not
+// by the address it was fetched from, so overwriting a program image — the
+// same addresses now holding different words — must need no flush. An
+// address-keyed memo (the cpu block cache) would serve the old program here;
+// the word-keyed memo cannot, because the new word is its own key.
+func TestDecodeCacheSurvivesReload(t *testing.T) {
+	var c DecodeCache
+	// "Program A": addresses 0x100.. hold these words; warm the cache.
+	progA := []uint32{
+		Encode(Instr{Op: OpAddi, Rd: 1, Rs1: 0, Imm: 1}),
+		Encode(Instr{Op: OpLw, Rd: 2, Rs1: 1, Imm: 8}),
+		Encode(Instr{Op: OpHalt}),
+	}
+	// "Program B": the same addresses after a reload, different words.
+	progB := []uint32{
+		Encode(Instr{Op: OpAddi, Rd: 1, Rs1: 0, Imm: 99}),
+		Encode(Instr{Op: OpSw, Rd: 2, Rs1: 1, Imm: 8}),
+		Encode(Instr{Op: OpJal, Imm: -2}),
+	}
+	for _, w := range progA {
+		if got, want := c.Decode(w), Decode(w); got != want {
+			t.Fatalf("program A decode of %#08x = %+v, want %+v", w, got, want)
+		}
+	}
+	// No invalidation between the programs — the reload is invisible to a
+	// word-keyed cache, and every post-reload decode must still be exact.
+	for i, w := range progB {
+		got, want := c.Decode(w), Decode(w)
+		if got != want {
+			t.Fatalf("post-reload decode of %#08x = %+v, want %+v", w, got, want)
+		}
+		if got == Decode(progA[i]) && w != progA[i] {
+			t.Fatalf("post-reload decode at slot %d returned program A's instruction", i)
+		}
+	}
+}
+
 // TestDecodeCacheCollision drives two words that map to the same slot and
 // checks the tag comparison keeps them apart.
 func TestDecodeCacheCollision(t *testing.T) {

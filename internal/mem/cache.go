@@ -1,6 +1,9 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // CacheConfig describes one private HW-controlled cache. Per the paper,
 // total size, line size and latency are independently configurable for each
@@ -70,12 +73,23 @@ type cacheLine struct {
 // always consistent, so the cache only determines how many cycles an access
 // costs and which refills/write-backs reach the next level.
 type Cache struct {
-	cfg    CacheConfig
-	sets   [][]cacheLine
-	nSets  uint32
-	stamp  uint64
-	stats  CacheStats
-	enable bool
+	cfg   CacheConfig
+	sets  [][]cacheLine
+	// lines is the flat backing array the per-set slices in sets view into;
+	// Access indexes it directly (set*assoc) to keep the hot lookup free of
+	// the double indirection.
+	lines []cacheLine
+	assoc uint32
+	nSets uint32
+	// lineShift/setShift/setMask precompute the power-of-two index
+	// arithmetic (Validate guarantees both line size and set count are
+	// powers of two), keeping runtime divisions off the per-access path.
+	lineShift uint32
+	setShift  uint32
+	setMask   uint32
+	stamp     uint64
+	stats     CacheStats
+	enable    bool
 }
 
 // NewCache builds a cache from cfg. It panics on invalid configurations;
@@ -87,10 +101,15 @@ func NewCache(cfg CacheConfig) *Cache {
 	nSets := cfg.SizeBytes / (cfg.LineBytes * uint32(cfg.Assoc))
 	sets := make([][]cacheLine, nSets)
 	lines := make([]cacheLine, nSets*uint32(cfg.Assoc))
+	rest := lines
 	for i := range sets {
-		sets[i], lines = lines[:cfg.Assoc], lines[cfg.Assoc:]
+		sets[i], rest = rest[:cfg.Assoc], rest[cfg.Assoc:]
 	}
-	return &Cache{cfg: cfg, sets: sets, nSets: nSets, enable: true}
+	return &Cache{cfg: cfg, sets: sets, lines: lines, assoc: uint32(cfg.Assoc), nSets: nSets,
+		lineShift: uint32(bits.TrailingZeros32(cfg.LineBytes)),
+		setShift:  uint32(bits.TrailingZeros32(nSets)),
+		setMask:   nSets - 1,
+		enable:    true}
 }
 
 // Config returns the cache configuration.
@@ -133,12 +152,12 @@ func (c *Cache) Flush(now uint64, resolve Resolver) uint64 {
 }
 
 func (c *Cache) index(addr uint32) (set, tag uint32) {
-	line := addr / c.cfg.LineBytes
-	return line % c.nSets, line / c.nSets
+	line := addr >> c.lineShift
+	return line & c.setMask, line >> c.setShift
 }
 
 func (c *Cache) lineAddr(tag, set uint32) uint32 {
-	return (tag*c.nSets + set) * c.cfg.LineBytes
+	return (tag<<c.setShift | set) << c.lineShift
 }
 
 // Enabled reports whether the cache is currently active.
@@ -157,8 +176,25 @@ func (c *Cache) Access(addr uint32, write bool) (hit bool, stall uint64) {
 		c.stats.Reads++
 	}
 	c.stamp++
-	set, tag := c.index(addr)
-	lines := c.sets[set]
+	line := addr >> c.lineShift
+	set, tag := line&c.setMask, line>>c.setShift
+	if c.assoc == 1 {
+		// Direct-mapped fast path (the default icache shape): one candidate
+		// line, indexed straight off the flat array.
+		ln := &c.lines[set]
+		if ln.valid && ln.tag == tag {
+			c.stats.Hits++
+			ln.lru = c.stamp
+			if write && !c.cfg.WriteThrough {
+				ln.dirty = true
+			}
+			return true, c.cfg.HitLatency
+		}
+		c.stats.Misses++
+		return false, 0
+	}
+	base := set * c.assoc
+	lines := c.lines[base : base+c.assoc]
 	for i := range lines {
 		if lines[i].valid && lines[i].tag == tag {
 			c.stats.Hits++

@@ -39,6 +39,9 @@ type Range struct {
 	Target    Target
 	Cacheable bool
 	Kind      RangeKind
+	// end caches Base+Target.Size() (exclusive, 33-bit safe) so the
+	// per-access bound check costs no interface call. AddRange fills it in.
+	end uint64
 }
 
 // Access describes one memory reference, delivered to the controller's
@@ -80,6 +83,14 @@ type Controller struct {
 	dcache   *Cache
 	observer Observer
 	stats    CtrlStats
+	// last memoises the most recently resolved range: core access streams
+	// are strongly local (runs of fetches and data references into the same
+	// private range), so two compares usually replace the binary search.
+	last *Range
+	// codeWrite, when set, observes every store this controller commits so
+	// state *derived from* instruction memory (the cpu block cache) can be
+	// invalidated. See SetCodeWriteHook.
+	codeWrite func(addr, bytes uint32)
 }
 
 // NewController creates a memory controller for core coreID.
@@ -114,6 +125,24 @@ func (c *Controller) AttachCaches(icache, dcache *Cache) {
 // SetObserver installs the access observer (event-logging sniffer hook).
 func (c *Controller) SetObserver(o Observer) { c.observer = o }
 
+// SetCodeWriteHook installs fn, invoked with the global address and width of
+// every store this controller commits — word and byte data stores and the
+// write half of atomic swaps — after the bytes have reached the backing
+// store. nil uninstalls.
+//
+// This is the fetch-coherence notification the plain cache invalidations
+// cannot provide: the I/D caches are timing directories over an
+// always-consistent backing store, so fetched *data* is never stale and
+// Swap's dcache-only invalidation is sufficient for them. Any state keyed
+// by code *address* that caches decoded instructions — the cpu package's
+// basic-block cache — is a different matter: a store into a decoded range
+// silently desynchronises it unless it observes every store, which is what
+// this hook delivers. The hook fires unconditionally (the receiver is
+// expected to range-filter cheaply) and synchronously on the storing core's
+// goroutine, so self-modifying code takes effect before the next
+// instruction issues.
+func (c *Controller) SetCodeWriteHook(fn func(addr, bytes uint32)) { c.codeWrite = fn }
+
 // AddRange registers an address range. Ranges must not overlap.
 func (c *Controller) AddRange(r Range) error {
 	if r.Target == nil {
@@ -128,6 +157,11 @@ func (c *Controller) AddRange(r Range) error {
 	}
 	c.ranges = append(c.ranges, r)
 	sort.Slice(c.ranges, func(i, j int) bool { return c.ranges[i].Base < c.ranges[j].Base })
+	for i := range c.ranges {
+		e := &c.ranges[i]
+		e.end = uint64(e.Base) + uint64(e.Target.Size())
+	}
+	c.last = nil // the sort may have moved the memoised entry
 	return nil
 }
 
@@ -135,6 +169,9 @@ func (c *Controller) AddRange(r Range) error {
 func (c *Controller) Ranges() []Range { return c.ranges }
 
 func (c *Controller) rangeFor(addr uint32) *Range {
+	if r := c.last; r != nil && addr >= r.Base && uint64(addr) < r.end {
+		return r
+	}
 	// Binary search over sorted bases.
 	lo, hi := 0, len(c.ranges)
 	for lo < hi {
@@ -149,7 +186,8 @@ func (c *Controller) rangeFor(addr uint32) *Range {
 		return nil
 	}
 	r := &c.ranges[lo-1]
-	if uint64(addr) < uint64(r.Base)+uint64(r.Target.Size()) {
+	if uint64(addr) < r.end {
+		c.last = r
 		return r
 	}
 	return nil
@@ -219,6 +257,12 @@ func (c *Controller) timedAccess(cache *Cache, now uint64, r *Range, addr uint32
 	if hit {
 		return stall
 	}
+	return c.refillMiss(cache, now, r, addr, write)
+}
+
+// refillMiss charges a write-back/write-allocate miss: install the line,
+// write back the dirty victim (if any) and stream the new line in.
+func (c *Controller) refillMiss(cache *Cache, now uint64, r *Range, addr uint32, write bool) uint64 {
 	line := cache.Config().LineBytes
 	victimAddr, victimDirty := cache.Refill(addr, write)
 	var extra uint64
@@ -227,7 +271,7 @@ func (c *Controller) timedAccess(cache *Cache, now uint64, r *Range, addr uint32
 			extra += vt.Latency(now, vlocal, line, true)
 		}
 	}
-	lineLocal := local &^ (line - 1)
+	lineLocal := (addr - r.Base) &^ (line - 1)
 	extra += r.Target.Latency(now+extra, lineLocal, line, false)
 	return cache.Config().HitLatency + extra
 }
@@ -273,6 +317,9 @@ func (c *Controller) WriteWord(now uint64, addr uint32, v uint32) (uint64, error
 	}
 	stall := c.timedAccess(c.dcache, now, r, addr, 4, true)
 	r.Target.StoreWord(addr-r.Base, v)
+	if c.codeWrite != nil {
+		c.codeWrite(addr, 4)
+	}
 	c.account(Access{Cycle: now, Core: c.coreID, Addr: addr, Kind: r.Kind, Write: true, Stall: stall})
 	return stall, nil
 }
@@ -297,12 +344,18 @@ func (c *Controller) StoreByte(now uint64, addr uint32, b byte) (uint64, error) 
 	}
 	stall := c.timedAccess(c.dcache, now, r, addr, 1, true)
 	r.Target.StoreByte(addr-r.Base, b)
+	if c.codeWrite != nil {
+		c.codeWrite(addr, 1)
+	}
 	c.account(Access{Cycle: now, Core: c.coreID, Addr: addr, Kind: r.Kind, Write: true, Stall: stall})
 	return stall, nil
 }
 
 // Swap performs an atomic 32-bit exchange, bypassing (and invalidating in)
-// the data cache: the returned value is the previous memory word.
+// the data cache: the returned value is the previous memory word. Like all
+// store paths it notifies the code-write hook — the data cache is the only
+// *cache* that needs invalidating (the I-cache is a timing directory and
+// never serves stale data), but decoded-state layers above fetch do.
 func (c *Controller) Swap(now uint64, addr uint32, v uint32) (uint32, uint64, error) {
 	if addr%4 != 0 {
 		return 0, 0, c.fault(addr, "unaligned atomic swap")
@@ -320,6 +373,90 @@ func (c *Controller) Swap(now uint64, addr uint32, v uint32) (uint32, uint64, er
 	stall := r.Target.Latency(now, local, 4, true) + 1
 	old := r.Target.LoadWord(local)
 	r.Target.StoreWord(local, v)
+	if c.codeWrite != nil {
+		c.codeWrite(addr, 4)
+	}
 	c.account(Access{Cycle: now, Core: c.coreID, Addr: addr, Kind: r.Kind, Write: true, Stall: stall})
 	return old, stall, nil
+}
+
+// FetchPath is a pre-resolved instruction-fetch channel over one address
+// range backed directly by a plain Memory. It lets a block-dispatch kernel
+// charge fetch timing and statistics without re-resolving the range or
+// performing the functional word load on every instruction. Resolution is
+// only valid while the controller's address map is stable; build the
+// platform fully before resolving paths.
+type FetchPath struct {
+	ctrl *Controller
+	r    *Range
+	m    *Memory
+	base uint32
+	end  uint64 // exclusive global end of the range
+	// cacheable folds the per-access range checks of timedAccess that are
+	// fixed once the platform is built (kind and cacheability); only the
+	// cache's runtime enable bit is left for fetch time.
+	cacheable bool
+}
+
+// FetchPathFor resolves the fetch path covering addr, or nil when the
+// address is unmapped or not backed by a plain Memory (interconnect-routed
+// shared memory, gated parallel-kernel wrappers and devices are excluded on
+// purpose: fetching through them has side effects a block kernel must not
+// pre-execute or skip).
+func (c *Controller) FetchPathFor(addr uint32) *FetchPath {
+	r := c.rangeFor(addr)
+	if r == nil {
+		return nil
+	}
+	m, ok := r.Target.(*Memory)
+	if !ok {
+		return nil
+	}
+	return &FetchPath{ctrl: c, r: r, m: m, base: r.Base,
+		end:       uint64(r.Base) + uint64(m.Size()),
+		cacheable: r.Kind != KindDevice && r.Cacheable}
+}
+
+// Contains reports whether the global address lies inside the path's range.
+func (fp *FetchPath) Contains(addr uint32) bool {
+	return addr >= fp.base && uint64(addr) < fp.end
+}
+
+// PeekWord reads the aligned word at global address addr with no timing or
+// statistics side effects (block-translation use). addr must be in range.
+func (fp *FetchPath) PeekWord(addr uint32) uint32 {
+	return fp.m.PeekWord(addr - fp.base)
+}
+
+// Fetch charges one instruction fetch at the aligned, in-range global
+// address addr — identical cache-directory update, stall computation,
+// functional read accounting and observer delivery to Controller.Fetch —
+// without the functional word load. Callers execute from pre-decoded state
+// whose coherence with memory is maintained by the code-write hook; the
+// backing memory's read counter is still bumped so functional traffic
+// statistics match the loading fetch exactly.
+func (fp *FetchPath) Fetch(now uint64, addr uint32) uint64 {
+	c := fp.ctrl
+	// Inlined timedAccess, specialised to a read on a pre-resolved range:
+	// the icache hit is the overwhelmingly common case on this path, so it
+	// pays only the directory probe, not the generic routing checks.
+	var stall uint64
+	if ic := c.icache; fp.cacheable && ic != nil && ic.enable {
+		if hit, s := ic.Access(addr, false); hit {
+			stall = s
+		} else {
+			stall = c.refillMiss(ic, now, fp.r, addr, false)
+		}
+	} else {
+		stall = fp.r.Target.Latency(now, addr-fp.base, 4, false)
+	}
+	fp.m.stats.Reads++
+	// Inlined account for the fetch kind; the Access record is only
+	// materialised when a sniffer observer is actually attached.
+	c.stats.StallCycles += stall
+	c.stats.Fetches++
+	if c.observer != nil {
+		c.observer(Access{Cycle: now, Core: c.coreID, Addr: addr, Kind: fp.r.Kind, Fetch: true, Stall: stall})
+	}
+	return stall
 }

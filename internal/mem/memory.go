@@ -67,7 +67,14 @@ type Memory struct {
 	physLatency uint64
 	sink        SuppressionSink
 	pages       map[uint32]*[pageSize]byte
-	stats       MemStats
+	// lastIdx/lastPage memoise the page of the previous access: emulated
+	// reference streams are page-local, so the memo replaces the map lookup
+	// on the hot path. Pages are never freed or replaced once allocated, so
+	// the pointer stays valid until RestoreState swaps the whole map (which
+	// clears the memo).
+	lastIdx  uint32
+	lastPage *[pageSize]byte
+	stats    MemStats
 }
 
 // NewMemory creates a memory of the given size (bytes) and user-defined
@@ -102,11 +109,15 @@ func (m *Memory) page(addr uint32) *[pageSize]byte {
 		panic(fmt.Sprintf("mem: %s: address 0x%x beyond size 0x%x", m.name, addr, m.size))
 	}
 	idx := addr / pageSize
+	if p := m.lastPage; p != nil && idx == m.lastIdx {
+		return p
+	}
 	p := m.pages[idx]
 	if p == nil {
 		p = new([pageSize]byte)
 		m.pages[idx] = p
 	}
+	m.lastIdx, m.lastPage = idx, p
 	return p
 }
 
@@ -154,6 +165,29 @@ func (m *Memory) StoreWord(addr uint32, v uint32) {
 	for i := uint32(0); i < 4; i++ {
 		m.storeByteRaw(addr+i, byte(v>>(8*i)))
 	}
+}
+
+// PeekWord returns the aligned 32-bit word at addr without counting the
+// access. Loaders and the block translator use it: functional statistics
+// must reflect only emulated traffic, never host-side inspection. Untouched
+// pages read as zero without being allocated.
+func (m *Memory) PeekWord(addr uint32) uint32 {
+	if addr >= m.size {
+		panic(fmt.Sprintf("mem: %s: address 0x%x beyond size 0x%x", m.name, addr, m.size))
+	}
+	p := m.pages[addr/pageSize]
+	if p == nil {
+		return 0
+	}
+	o := addr % pageSize
+	if o+4 <= pageSize {
+		return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24
+	}
+	var v uint32
+	for i := uint32(0); i < 4; i++ {
+		v |= uint32(m.loadByteRaw(addr+i)) << (8 * i)
+	}
+	return v
 }
 
 func (m *Memory) loadByteRaw(addr uint32) byte { return m.page(addr)[addr%pageSize] }

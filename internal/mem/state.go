@@ -48,6 +48,7 @@ func (m *Memory) RestoreState(s MemoryState) error {
 		pages[p.Addr/pageSize] = &buf
 	}
 	m.pages = pages
+	m.lastPage = nil // the memoised page belongs to the replaced map
 	m.stats = s.Stats
 	return nil
 }
