@@ -20,20 +20,21 @@ import (
 func main() {
 	var (
 		cores    = flag.Int("cores", 4, "emulated cores")
-		workload = flag.String("workload", "matrix", "matrix | dithering")
-		n        = flag.Int("n", 12, "matrix dimension")
-		iters    = flag.Int("iters", 2, "matrix iterations per core")
+		workload = flag.String("workload", "matrix", workloads.NamesHelp())
+		n        = flag.Int("n", 12, "matrix dimension / FIR taps / histogram bins")
+		iters    = flag.Int("iters", 2, "repetition count (sustained-load iterations)")
 		size     = flag.Int("size", 32, "dithering image edge")
+		words    = flag.Int("words", 64, "stream length (membound, fir, histogram) / pipeline items")
 		ic       = flag.String("ic", "opb", "interconnect: opb | plb | custom | noc")
 	)
 	flag.Parse()
-	if err := run(*cores, *workload, *n, *iters, *size, *ic); err != nil {
+	if err := run(*cores, *workload, *n, *iters, *size, *words, *ic); err != nil {
 		fmt.Fprintln(os.Stderr, "mparm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cores int, workload string, n, iters, size int, ic string) error {
+func run(cores int, workload string, n, iters, size, words int, ic string) error {
 	cfg := thermemu.DefaultPlatform(cores)
 	switch ic {
 	case "opb":
@@ -47,16 +48,9 @@ func run(cores int, workload string, n, iters, size int, ic string) error {
 	default:
 		return fmt.Errorf("unknown interconnect %q", ic)
 	}
-	var spec *thermemu.Workload
-	var err error
-	switch workload {
-	case "matrix":
-		spec, err = workloads.Matrix(cores, n, iters, cfg.PrivKB)
-	case "dithering":
-		spec, err = workloads.Dithering(cores, size)
-	default:
-		return fmt.Errorf("unknown workload %q", workload)
-	}
+	spec, err := workloads.Build(workload, workloads.Params{
+		Cores: cores, PrivKB: cfg.PrivKB, N: n, Iters: iters, Size: size, Words: words,
+	})
 	if err != nil {
 		return err
 	}

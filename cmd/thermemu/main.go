@@ -9,6 +9,7 @@
 //	thermemu -cores 4 -workload matrix -n 16 -iters 100
 //	thermemu -cores 4 -workload matrix-tm -iters 400 -tm -csv run.csv
 //	thermemu -cores 4 -workload dithering -size 64 -ic noc
+//	thermemu -scenario examples/scenarios/fir.scn -digest   (declarative run)
 //	thermemu -workload matrix-tm -host 127.0.0.1:9077   (remote thermal host)
 //	thermemu -workload matrix-tm -iters 400 -digest -checkpoint ck/   (checkpointed)
 //	thermemu -workload matrix-tm -iters 400 -digest -resume ck/win-000010.tmck
@@ -27,6 +28,7 @@ import (
 	"thermemu/internal/emu"
 	"thermemu/internal/etherlink"
 	"thermemu/internal/noc"
+	"thermemu/internal/scenario"
 	"thermemu/internal/tm"
 	"thermemu/internal/trace"
 	"thermemu/internal/workloads"
@@ -34,46 +36,58 @@ import (
 
 func main() {
 	var (
-		cores    = flag.Int("cores", 4, "emulated cores (1-8)")
-		workload = flag.String("workload", "matrix", "matrix | matrix-tm | dithering")
-		n        = flag.Int("n", 16, "matrix dimension")
-		iters    = flag.Int("iters", 10, "matrix iterations per core")
-		size     = flag.Int("size", 64, "dithering image edge")
-		ic       = flag.String("ic", "opb", "interconnect: opb | plb | custom | noc")
-		nocSpec  = flag.String("noc", "pair", "NoC topology when -ic noc: pair | mesh:WxH | ring:N")
-		freqMHz  = flag.Int("freq", 0, "virtual clock in MHz (0 = platform default)")
-		blocks   = flag.Bool("blocks", false, "threaded-code block dispatch: translate straight-line R32 blocks at first execution (bit-identical results, faster on compute-bound code)")
-		withTM   = flag.Bool("tm", false, "enable the 350K/340K threshold DFS policy")
-		windowMs = flag.Float64("window", 1.0, "sampling window in virtual ms")
-		pipeline = flag.Int("pipeline", 0, "pipeline depth: overlap emulation with the thermal solve at a sensor latency of this many windows (0 = serial loop)")
-		tscale   = flag.Float64("timescale", 100, "thermal time compression (1 = paper-faithful)")
-		cells    = flag.Int("cells", 28, "thermal cells for the floorplan grid")
-		workers  = flag.Int("workers", 0, "thermal solver shards (0 = auto, 1 = serial)")
-		csvPath  = flag.String("csv", "", "write per-window samples to this CSV file")
-		hostAddr = flag.String("host", "", "remote thermal server address (empty = in-process)")
+		scenPath  = flag.String("scenario", "", "run a declarative scenario file instead of the platform/workload flags")
+		cores     = flag.Int("cores", 4, "emulated cores (1-8)")
+		workload  = flag.String("workload", "matrix", workloads.NamesHelp())
+		n         = flag.Int("n", 16, "matrix dimension / FIR taps / histogram bins")
+		iters     = flag.Int("iters", 10, "repetition count (sustained-load iterations)")
+		size      = flag.Int("size", 64, "dithering image edge")
+		words     = flag.Int("words", 64, "stream length (membound, fir, histogram) / pipeline items")
+		ic        = flag.String("ic", "opb", "interconnect: opb | plb | custom | noc")
+		nocSpec   = flag.String("noc", "pair", "NoC topology when -ic noc: pair | mesh:WxH | ring:N")
+		freqMHz   = flag.Int("freq", 0, "virtual clock in MHz (0 = platform default)")
+		blocks    = flag.Bool("blocks", false, "threaded-code block dispatch: translate straight-line R32 blocks at first execution (bit-identical results, faster on compute-bound code)")
+		withTM    = flag.Bool("tm", false, "enable the 350K/340K threshold DFS policy")
+		windowMs  = flag.Float64("window", 1.0, "sampling window in virtual ms")
+		pipeline  = flag.Int("pipeline", 0, "pipeline depth: overlap emulation with the thermal solve at a sensor latency of this many windows (0 = serial loop)")
+		tscale    = flag.Float64("timescale", 100, "thermal time compression (1 = paper-faithful)")
+		cells     = flag.Int("cells", 28, "thermal cells for the floorplan grid")
+		workers   = flag.Int("workers", 0, "thermal solver shards (0 = auto, 1 = serial)")
+		csvPath   = flag.String("csv", "", "write per-window samples to this CSV file")
+		hostAddr  = flag.String("host", "", "remote thermal server address (empty = in-process)")
 		fault     = flag.String("fault", "", "inject link faults, e.g. drop=0.01,dup=0.005,reorder=0.01,corrupt=0.001,delay=2ms,cut=500 (applied to both directions)")
 		faultSeed = flag.Int64("fault-seed", 1, "PRNG seed for -fault")
 		redial    = flag.Bool("redial", false, "supervise the host connection: reconnect with capped exponential backoff on link faults")
-		report   = flag.Bool("report", false, "print the detailed platform statistics report")
-		digest   = flag.Bool("digest", false, "accumulate and print the run's golden conformance digest")
+		report    = flag.Bool("report", false, "print the detailed platform statistics report")
+		digest    = flag.Bool("digest", false, "accumulate and print the run's golden conformance digest")
 		ckptDir   = flag.String("checkpoint", "", "write window-boundary checkpoints (win-NNNNNN.tmck) into this directory")
 		ckptEvery = flag.Int("checkpoint-every", 10, "checkpoint cadence in sampling windows for -checkpoint")
 		resume    = flag.String("resume", "", "resume a run from this checkpoint file (continues its golden digest lineage; flags must match the original run)")
 		fork      = flag.String("fork", "", "like -resume but as a new experiment branching off the snapshot (fresh digest lineage)")
-		vcdPath  = flag.String("vcd", "", "write the run as a VCD waveform to this path")
-		jsonPath = flag.String("json", "", "write the run's samples as JSON to this path")
-		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
-		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
+		vcdPath   = flag.String("vcd", "", "write the run as a VCD waveform to this path")
+		jsonPath  = flag.String("json", "", "write the run's samples as JSON to this path")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	)
 	flag.Parse()
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 	if err := profiled(*cpuProf, *memProf, func() error {
-		return run(*cores, *workload, *n, *iters, *size, *ic, *nocSpec, *freqMHz, *blocks, *withTM,
+		return run(*scenPath, setFlags, *cores, *workload, *n, *iters, *size, *words, *ic, *nocSpec, *freqMHz, *blocks, *withTM,
 			*windowMs, *pipeline, *tscale, *cells, *workers, *csvPath, *hostAddr, *fault, *faultSeed,
 			*redial, *report, *digest, *ckptDir, *ckptEvery, *resume, *fork, *vcdPath, *jsonPath)
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "thermemu:", err)
 		os.Exit(1)
 	}
+}
+
+// scenarioOwned lists the flags a scenario file replaces; setting one of
+// them together with -scenario is a conflict, not a silent override.
+var scenarioOwned = []string{
+	"cores", "workload", "n", "iters", "size", "words", "ic", "noc", "freq",
+	"blocks", "tm", "window", "pipeline", "timescale", "cells", "workers",
+	"fault", "fault-seed",
 }
 
 // profiled runs body under the requested pprof collectors. The CPU profile
@@ -108,73 +122,88 @@ func profiled(cpuPath, memPath string, body func() error) error {
 	return body()
 }
 
-func run(cores int, workload string, n, iters, size int, ic, nocSpec string, freqMHz int,
+func run(scenPath string, setFlags map[string]bool,
+	cores int, workload string, n, iters, size, words int, ic, nocSpec string, freqMHz int,
 	blocks, withTM bool, windowMs float64, pipeline int, tscale float64, cells, workers int,
 	csvPath, hostAddr, fault string, faultSeed int64, redial, report, digest bool,
 	ckptDir string, ckptEvery int, resumePath, forkPath string,
 	vcdPath, jsonPath string) error {
-	pcfg := thermemu.DefaultPlatform(cores)
-	switch ic {
-	case "opb":
-		pcfg.IC = emu.ICBusOPB
-	case "plb":
-		pcfg.IC = emu.ICBusPLB
-	case "custom":
-		pcfg.IC = emu.ICBusCustom
-	case "noc":
-		pcfg.IC = emu.ICNoC
-		topo, err := noc.ParseTopology(nocSpec)
+	var cfg thermemu.CoEmulationConfig
+	if scenPath != "" {
+		for _, name := range scenarioOwned {
+			if setFlags[name] {
+				return fmt.Errorf("-%s conflicts with -scenario: set it in the scenario file", name)
+			}
+		}
+		s, err := scenario.Load(scenPath)
 		if err != nil {
 			return err
 		}
-		for c := 0; c < cores; c++ {
-			topo.Attach(c, c%topo.Switches)
+		cfg, err = s.CoEmulation()
+		if err != nil {
+			return err
 		}
-		pcfg.NoC = &emu.NoCSpec{Topo: topo, Cfg: noc.DefaultConfig(), MemSwitch: topo.Switches - 1}
-	default:
-		return fmt.Errorf("unknown interconnect %q", ic)
-	}
-	if freqMHz > 0 {
-		pcfg.FreqHz = uint64(freqMHz) * 1e6
-	}
-	pcfg.Blocks = blocks
+		// The report lines below describe the run through these locals.
+		cores, ic = s.Cores, s.IC
+		windowMs, pipeline = s.WindowMs, s.Pipeline
+		fault, faultSeed = s.Fault, s.FaultSeed
+	} else {
+		pcfg := thermemu.DefaultPlatform(cores)
+		switch ic {
+		case "opb":
+			pcfg.IC = emu.ICBusOPB
+		case "plb":
+			pcfg.IC = emu.ICBusPLB
+		case "custom":
+			pcfg.IC = emu.ICBusCustom
+		case "noc":
+			pcfg.IC = emu.ICNoC
+			topo, err := noc.ParseTopology(nocSpec)
+			if err != nil {
+				return err
+			}
+			for c := 0; c < cores; c++ {
+				topo.Attach(c, c%topo.Switches)
+			}
+			pcfg.NoC = &emu.NoCSpec{Topo: topo, Cfg: noc.DefaultConfig(), MemSwitch: topo.Switches - 1}
+		default:
+			return fmt.Errorf("unknown interconnect %q", ic)
+		}
+		if freqMHz > 0 {
+			pcfg.FreqHz = uint64(freqMHz) * 1e6
+		}
+		spec, err := workloads.Build(workload, workloads.Params{
+			Cores: cores, PrivKB: pcfg.PrivKB, N: n, Iters: iters, Size: size, Words: words,
+		})
+		if err != nil {
+			return err
+		}
+		if b, _ := workloads.Lookup(workload); b.ForceFreqMHz > 0 {
+			pcfg.FreqHz = uint64(b.ForceFreqMHz) * 1e6 // the workload's pinned operating point
+		}
+		pcfg.Blocks = blocks
 
-	var spec *thermemu.Workload
-	var err error
-	switch workload {
-	case "matrix":
-		spec, err = workloads.Matrix(cores, n, iters, pcfg.PrivKB)
-	case "matrix-tm":
-		pcfg.FreqHz = 500e6 // the Figure 6 operating point
-		spec, err = workloads.MatrixTM(cores, n, iters, pcfg.PrivKB)
-	case "dithering":
-		spec, err = workloads.Dithering(cores, size)
-	default:
-		return fmt.Errorf("unknown workload %q", workload)
+		topt := thermemu.DefaultThermalOptions()
+		if workers > 0 {
+			topt.Workers = workers
+		}
+		host, err := thermemu.NewThermalHostWith(thermemu.FourARM11(), cells, topt)
+		if err != nil {
+			return err
+		}
+		cfg = thermemu.CoEmulationConfig{
+			Platform:         pcfg,
+			Workload:         spec,
+			Host:             host,
+			WindowPs:         uint64(windowMs * 1e9),
+			ThermalTimeScale: tscale,
+			PipelineDepth:    pipeline,
+		}
+		if withTM {
+			cfg.Policy = tm.NewThresholdDFS()
+		}
 	}
-	if err != nil {
-		return err
-	}
-
-	topt := thermemu.DefaultThermalOptions()
-	if workers > 0 {
-		topt.Workers = workers
-	}
-	host, err := thermemu.NewThermalHostWith(thermemu.FourARM11(), cells, topt)
-	if err != nil {
-		return err
-	}
-	cfg := thermemu.CoEmulationConfig{
-		Platform:         pcfg,
-		Workload:         spec,
-		Host:             host,
-		WindowPs:         uint64(windowMs * 1e9),
-		ThermalTimeScale: tscale,
-		PipelineDepth:    pipeline,
-	}
-	if withTM {
-		cfg.Policy = tm.NewThresholdDFS()
-	}
+	spec := cfg.Workload
 	if digest {
 		cfg.Golden = thermemu.NewGoldenTrace()
 	}
@@ -239,10 +268,11 @@ func run(cores int, workload string, n, iters, size int, ic, nocSpec string, fre
 
 	var csv *os.File
 	if csvPath != "" {
-		csv, err = os.Create(csvPath)
+		f, err := os.Create(csvPath)
 		if err != nil {
 			return err
 		}
+		csv = f
 		defer csv.Close()
 		fmt.Fprintln(csv, "time_s,cycle,freq_mhz,max_temp_k,total_power_w,throttled")
 	}
@@ -310,11 +340,11 @@ func run(cores int, workload string, n, iters, size int, ic, nocSpec string, fre
 		return f.Close()
 	}
 	if err := writeArtifact(vcdPath, func(f *os.File) error {
-		return trace.WriteSamplesVCD(f, host.FP, res.Samples)
+		return trace.WriteSamplesVCD(f, cfg.Host.FP, res.Samples)
 	}); err != nil {
 		return err
 	}
 	return writeArtifact(jsonPath, func(f *os.File) error {
-		return trace.WriteSamplesJSON(f, host.FP, res.Samples)
+		return trace.WriteSamplesJSON(f, cfg.Host.FP, res.Samples)
 	})
 }

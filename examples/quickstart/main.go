@@ -64,4 +64,23 @@ func main() {
 		fmt.Printf("  %-8s %6.2f K  %8.4f W\n", name, last.CompTempK[idx], last.CompPowerW[idx])
 		_ = i
 	}
+
+	// 5. The same story, declaratively: a scenario file names the platform,
+	//    workload and thermal setup in one place, and builds the identical
+	//    co-emulation configuration (run from the repository root).
+	scn, err := thermemu.LoadScenario("examples/scenarios/fir.scn")
+	if err != nil {
+		log.Fatal(err)
+	}
+	scncfg, err := scn.CoEmulation()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sout, err := thermemu.RunCoEmulation(scncfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario %q (workload %s on %d cores):\n", scn.Name, scn.Workload, scn.Cores)
+	fmt.Printf("  %d sampling windows, max temperature %.2f K\n",
+		len(sout.Samples), sout.MaxTempK)
 }

@@ -22,30 +22,34 @@ const (
 	diffEvery     = 256 // sampling period shared by all runs under test
 )
 
-// diffSpec builds one of the seed workloads sized small enough that the
-// whole matrix stays fast under -race even at chunk size 1.
+// diffParams sizes every corpus workload small enough that the whole
+// matrix stays fast under -race even at chunk size 1.
+var diffParams = workloads.Params{N: 4, Iters: 4, Size: 8, Words: 16}
+
+// diffSpec builds one registry workload at diff-matrix scale. The kind is
+// any registered corpus name, so new workloads join the differential tier
+// by registering, not by editing this file.
 func diffSpec(t *testing.T, kind string, cores int) *workloads.Spec {
 	t.Helper()
-	var (
-		s   *workloads.Spec
-		err error
-	)
-	switch kind {
-	case "matrix":
-		s, err = workloads.Matrix(cores, 4, 2, 64)
-	case "dithering":
-		s, err = workloads.Dithering(cores, 8)
-	case "locks":
-		s, err = workloads.Locks(cores, 6)
-	case "membound":
-		s, err = workloads.MemBound(cores, 64, 2)
-	default:
-		t.Fatalf("unknown workload kind %q", kind)
-	}
+	p := diffParams
+	p.Cores = cores
+	s, err := workloads.Build(kind, p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return s
+}
+
+// diffKinds returns every corpus workload runnable on `cores` cores.
+func diffKinds(cores int) []string {
+	var kinds []string
+	for _, name := range workloads.Names() {
+		if b, _ := workloads.Lookup(name); b.MinCores > cores {
+			continue
+		}
+		kinds = append(kinds, name)
+	}
+	return kinds
 }
 
 func diffConfig(cores int, noc, parallel bool) emu.Config {
@@ -99,8 +103,8 @@ func TestDifferentialSerialVsParallel(t *testing.T) {
 		name string
 		noc  bool
 	}{{"bus", false}, {"noc", true}} {
-		for _, kind := range []string{"matrix", "dithering", "locks", "membound"} {
-			for _, cores := range []int{1, 2, 4} {
+		for _, cores := range []int{1, 2, 4} {
+			for _, kind := range diffKinds(cores) {
 				t.Run(fmt.Sprintf("%s/%s/%dc", ic.name, kind, cores), func(t *testing.T) {
 					spec := diffSpec(t, kind, cores)
 					want := digestRun(t, diffConfig(cores, ic.noc, false), spec,

@@ -26,21 +26,30 @@ import (
 var updateGolden = flag.Bool("update", false, "rewrite testdata/golden digest files")
 
 type goldenCase struct {
-	name string
-	cfg  func() emu.Config
-	spec func() (*workloads.Spec, error)
+	name     string
+	workload string // registry name, also the corpus-coverage key
+	params   workloads.Params
+	cfg      func() emu.Config
+}
+
+func (gc goldenCase) spec() (*workloads.Spec, error) {
+	p := gc.params
+	p.Cores = 4
+	return workloads.Build(gc.workload, p)
 }
 
 func goldenCases() []goldenCase {
-	table3 := func(noc bool) emu.Config {
-		cfg := emu.DefaultConfig(4)
-		cfg.CoreKinds = emu.Table3Cores(4)
-		cfg.Parallel = true
-		if noc {
-			cfg.IC = emu.ICNoC
-			cfg.NoC = emu.Table3NoC(4)
+	table3 := func(noc bool) func() emu.Config {
+		return func() emu.Config {
+			cfg := emu.DefaultConfig(4)
+			cfg.CoreKinds = emu.Table3Cores(4)
+			cfg.Parallel = true
+			if noc {
+				cfg.IC = emu.ICNoC
+				cfg.NoC = emu.Table3NoC(4)
+			}
+			return cfg
 		}
-		return cfg
 	}
 	fig6 := func() emu.Config {
 		cfg := emu.Fig6Config()
@@ -48,18 +57,31 @@ func goldenCases() []goldenCase {
 		return cfg
 	}
 	return []goldenCase{
-		{"table3-matrix-bus", func() emu.Config { return table3(false) },
-			func() (*workloads.Spec, error) { return workloads.Matrix(4, 8, 2, 64) }},
-		{"table3-matrix-noc", func() emu.Config { return table3(true) },
-			func() (*workloads.Spec, error) { return workloads.Matrix(4, 8, 2, 64) }},
-		{"table3-dithering-bus", func() emu.Config { return table3(false) },
-			func() (*workloads.Spec, error) { return workloads.Dithering(4, 16) }},
-		{"table3-dithering-noc", func() emu.Config { return table3(true) },
-			func() (*workloads.Spec, error) { return workloads.Dithering(4, 16) }},
-		{"table3-locks-bus", func() emu.Config { return table3(false) },
-			func() (*workloads.Spec, error) { return workloads.Locks(4, 16) }},
-		{"fig6-matrixtm-noc", fig6,
-			func() (*workloads.Spec, error) { return workloads.MatrixTM(4, 8, 4, 32) }},
+		{"table3-matrix-bus", "matrix", workloads.Params{N: 8, Iters: 2, PrivKB: 64}, table3(false)},
+		{"table3-matrix-noc", "matrix", workloads.Params{N: 8, Iters: 2, PrivKB: 64}, table3(true)},
+		{"table3-dithering-bus", "dithering", workloads.Params{Size: 16}, table3(false)},
+		{"table3-dithering-noc", "dithering", workloads.Params{Size: 16}, table3(true)},
+		{"table3-locks-bus", "locks", workloads.Params{Iters: 16}, table3(false)},
+		{"table3-membound-bus", "membound", workloads.Params{Words: 64, Iters: 4}, table3(false)},
+		{"table3-fir-noc", "fir", workloads.Params{N: 8, Words: 64, Iters: 2}, table3(true)},
+		{"table3-histogram-bus", "histogram", workloads.Params{N: 16, Words: 64}, table3(false)},
+		{"table3-pipeline-noc", "pipeline", workloads.Params{Words: 64}, table3(true)},
+		{"fig6-matrixtm-noc", "matrix-tm", workloads.Params{N: 8, Iters: 4, PrivKB: 32}, fig6},
+	}
+}
+
+// TestGoldenCorpusCoverage pins the invariant that every registered corpus
+// workload has at least one committed golden digest: registering a workload
+// without adding a golden case fails here, not in review.
+func TestGoldenCorpusCoverage(t *testing.T) {
+	covered := map[string]bool{}
+	for _, gc := range goldenCases() {
+		covered[gc.workload] = true
+	}
+	for _, name := range workloads.Names() {
+		if !covered[name] {
+			t.Errorf("corpus workload %q has no golden-file case", name)
+		}
 	}
 }
 

@@ -70,8 +70,8 @@ func TestSkipAheadMatchesPerCycle(t *testing.T) {
 		name string
 		noc  bool
 	}{{"bus", false}, {"noc", true}} {
-		for _, kind := range []string{"matrix", "membound", "locks"} {
-			for _, cores := range []int{1, 2, 4} {
+		for _, cores := range []int{1, 2, 4} {
+			for _, kind := range diffKinds(cores) {
 				t.Run(fmt.Sprintf("%s/%s/%dc", ic.name, kind, cores), func(t *testing.T) {
 					spec := diffSpec(t, kind, cores)
 					want := digestRun(t, diffConfig(cores, ic.noc, false), spec,

@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"thermemu/internal/workloads"
+)
+
+// Lint validates a scenario without running it. It collects every problem
+// it can find — unknown workload/policy/floorplan/interconnect names,
+// non-positive platform or thermal parameters, programs that overrun
+// private memory, shared-memory blocks that overlap each other or fall
+// outside shared memory, program counts that disagree with the core count,
+// unparsable fault specs — and returns them joined, so a broken file
+// reports all its faults in one pass.
+func (s *Scenario) Lint() error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	if s.Cores < 1 {
+		fail("platform: cores must be at least 1, got %d", s.Cores)
+	}
+	if _, _, err := parseIC(s.IC); err != nil {
+		fail("platform: %v", err)
+	}
+	if s.FreqMHz < 0 {
+		fail("platform: freq-mhz must be non-negative, got %d", s.FreqMHz)
+	}
+	if s.PrivKB < 1 {
+		fail("platform: priv-kb must be at least 1, got %d", s.PrivKB)
+	}
+	if s.SharedKB < 1 {
+		fail("platform: shared-kb must be at least 1, got %d", s.SharedKB)
+	}
+
+	if _, ok := floorplans[s.Floorplan]; !ok {
+		fail("thermal: unknown floorplan %q (want arm7 | arm11)", s.Floorplan)
+	}
+	if s.Cells < 1 {
+		fail("thermal: cells must be at least 1, got %d", s.Cells)
+	}
+	if !(s.WindowMs > 0) {
+		fail("thermal: window-ms must be positive, got %v", s.WindowMs)
+	}
+	if !(s.Timescale > 0) {
+		fail("thermal: timescale must be positive, got %v", s.Timescale)
+	}
+	if s.Pipeline < 0 {
+		fail("thermal: pipeline must be non-negative, got %d", s.Pipeline)
+	}
+	if s.Workers < 0 {
+		fail("thermal: workers must be non-negative, got %d", s.Workers)
+	}
+
+	if _, ok := policies[s.Policy]; !ok {
+		fail("tm: unknown policy %q (want none | proportional-dfs | threshold-dfs)", s.Policy)
+	}
+
+	if s.Workload != "" {
+		if _, ok := workloads.Lookup(s.Workload); !ok {
+			fail("workload: unknown workload %q (want %s)", s.Workload, workloads.NamesHelp())
+		}
+	}
+
+	if s.Fault != "" {
+		if _, err := s.FaultConfig(); err != nil {
+			fail("fault: %v", err)
+		}
+	}
+
+	// The deep checks need a buildable workload; skip them if the shallow
+	// checks already doomed the platform parameters the build depends on.
+	if s.Cores >= 1 && s.PrivKB >= 1 && s.SharedKB >= 1 {
+		if err := s.lintWorkload(fail); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// lintWorkload builds the workload spec and checks its address map against
+// the platform's memories: one program per core, every program image inside
+// private memory, every shared block word-aligned, inside shared memory and
+// non-overlapping.
+func (s *Scenario) lintWorkload(fail func(string, ...any)) error {
+	spec, err := s.Spec()
+	if err != nil {
+		return err
+	}
+	if len(spec.Programs) != s.Cores {
+		fail("workload %q provides %d programs for a %d-core platform", spec.Name, len(spec.Programs), s.Cores)
+	}
+	privBytes := uint32(s.PrivKB) * 1024
+	for c, im := range spec.Programs {
+		if im == nil {
+			fail("workload %q: core %d has no program", spec.Name, c)
+			continue
+		}
+		if end := im.End(); end > privBytes {
+			fail("workload %q: core %d program ends at %#x, beyond the %d KB private memory", spec.Name, c, end, s.PrivKB)
+		}
+	}
+
+	type span struct {
+		lo, hi uint32 // [lo, hi) byte range in shared memory
+	}
+	sharedBytes := uint32(s.SharedKB) * 1024
+	spans := make([]span, 0, len(spec.Shared))
+	for _, blk := range spec.Shared {
+		if blk.Addr%4 != 0 {
+			fail("shared block at %#x is not word-aligned", blk.Addr)
+		}
+		end := uint64(blk.Addr) + uint64(len(blk.Data))
+		if end > uint64(sharedBytes) {
+			fail("shared block [%#x, %#x) falls outside the %d KB shared memory", blk.Addr, end, s.SharedKB)
+			continue
+		}
+		spans = append(spans, span{blk.Addr, uint32(end)})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	for i := 1; i < len(spans); i++ {
+		if spans[i].lo < spans[i-1].hi {
+			fail("shared blocks overlap: [%#x, %#x) collides with [%#x, %#x)",
+				spans[i-1].lo, spans[i-1].hi, spans[i].lo, spans[i].hi)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package workloads
+
+import (
+	"fmt"
+
+	"thermemu/internal/asm"
+)
+
+// Shared-memory offsets of the FIR workload. The layouts stay below 32 KB
+// so the workload also fits the Figure 6 platform's small shared memory.
+const (
+	FIRTapBase = 0x0200 // filter coefficients, one word each
+	FIRInBase  = 0x2000 // input sample stream
+	FIROutBase = 0x5000 // filtered output stream
+)
+
+// firSample is the deterministic initial value of input sample i.
+func firSample(i uint32) uint32 { return (i*37 + 11) & 0x3FF }
+
+// firTap is the deterministic coefficient of tap k.
+func firTap(k uint32) uint32 { return (k*5 + 1) & 0xF }
+
+// FIRRef computes the reference output stream y and the per-core segment
+// checksums for a `taps`-tap filter over `words` samples split into one
+// contiguous output segment per core: y[i] = sum_k h[k]*x[i-k] with x[j<0]
+// treated as zero, in 32-bit wraparound arithmetic — exactly the R32
+// program's computation.
+func FIRRef(cores, taps, words int) (y []uint32, sums []uint32) {
+	y = make([]uint32, words)
+	for i := 0; i < words; i++ {
+		var acc uint32
+		for k := 0; k < taps; k++ {
+			if j := i - k; j >= 0 {
+				acc += firTap(uint32(k)) * firSample(uint32(j))
+			}
+		}
+		y[i] = acc
+	}
+	seg := words / cores
+	sums = make([]uint32, cores)
+	for c := 0; c < cores; c++ {
+		for i := c * seg; i < (c+1)*seg; i++ {
+			sums[c] += y[i]
+		}
+	}
+	return y, sums
+}
+
+// firProgram generates the per-core FIR assembly: `iters` passes of the
+// filter over the core's output segment (every pass produces the same
+// values; the repetitions model sustained streaming load).
+func firProgram(taps, words, iters, seg int) string {
+	return fmt.Sprintf(`
+	.equ TAPS,  %d
+	.equ SEG,   %d            ; output words per core
+	.equ ITERS, %d
+	.equ TAPB,  0x%x          ; SharedBase + FIRTapBase
+	.equ INB,   0x%x          ; SharedBase + FIRInBase
+	.equ OUTB,  0x%x          ; SharedBase + FIROutBase
+	.equ SHARED, 0x10000000
+	.equ INFO,   0x22000000
+
+start:
+	li   r20, INFO
+	lw   r21, 0(r20)          ; coreID
+	li   r2, SEG
+	mul  r3, r21, r2          ; i0 = coreID*SEG
+	add  r4, r3, r2           ; iEnd
+	li   r13, TAPS
+	li   r17, ITERS
+iter:
+	add  r14, r0, r0          ; segment checksum
+	mv   r5, r3               ; i
+iloop:
+	add  r10, r0, r0          ; acc
+	add  r6, r0, r0           ; k
+kloop:
+	sub  r7, r5, r6           ; j = i-k
+	blt  r7, r0, knext        ; x[j<0] = 0
+	slli r8, r6, 2
+	li   r9, TAPB
+	add  r8, r8, r9
+	lw   r8, 0(r8)            ; h[k]
+	slli r9, r7, 2
+	li   r12, INB
+	add  r9, r9, r12
+	lw   r9, 0(r9)            ; x[j]
+	mul  r8, r8, r9
+	add  r10, r10, r8
+knext:
+	inc  r6
+	bne  r6, r13, kloop
+	slli r8, r5, 2
+	li   r9, OUTB
+	add  r8, r8, r9
+	sw   r10, 0(r8)           ; y[i]
+	add  r14, r14, r10
+	inc  r5
+	bne  r5, r4, iloop
+	dec  r17
+	bne  r17, r0, iter
+
+	; publish the segment checksum at SHARED + 4*coreID
+	li   r22, SHARED
+	slli r23, r21, 2
+	add  r22, r22, r23
+	sw   r14, 0(r22)
+	halt
+`, taps, seg, iters,
+		SharedBase+FIRTapBase, SharedBase+FIRInBase, SharedBase+FIROutBase)
+}
+
+// FIR builds the streaming FIR workload: every core convolves its segment
+// of a shared `words`-sample stream with a shared `taps`-coefficient filter
+// `iters` times, writes the output stream and publishes its segment
+// checksum. words must divide evenly across the cores, and the in/out
+// streams must fit between their shared-memory bases.
+func FIR(cores, taps, words, iters int) (*Spec, error) {
+	if cores <= 0 || taps <= 0 || words <= 0 || iters <= 0 {
+		return nil, fmt.Errorf("workloads: cores, taps, words and iters must be positive")
+	}
+	if words%cores != 0 {
+		return nil, fmt.Errorf("workloads: fir stream of %d words must divide evenly across %d cores", words, cores)
+	}
+	if 4*taps > FIRInBase-FIRTapBase {
+		return nil, fmt.Errorf("workloads: fir tap table of %d words overruns the input stream base", taps)
+	}
+	if 4*words > FIROutBase-FIRInBase {
+		return nil, fmt.Errorf("workloads: fir stream of %d words overruns the output base (max %d)",
+			words, (FIROutBase-FIRInBase)/4)
+	}
+	im, err := asm.Assemble(firProgram(taps, words, iters, words/cores))
+	if err != nil {
+		return nil, fmt.Errorf("workloads: fir program: %w", err)
+	}
+	progs := replicate(im, cores)
+	in := make([]uint32, words)
+	for i := range in {
+		in[i] = firSample(uint32(i))
+	}
+	h := make([]uint32, taps)
+	for k := range h {
+		h[k] = firTap(uint32(k))
+	}
+	spec := &Spec{
+		Name:     fmt.Sprintf("fir-%dc-%dt-%dw-%dit", cores, taps, words, iters),
+		Programs: progs,
+		Shared: []SharedBlock{
+			{Addr: FIRTapBase, Data: packWords(h)},
+			{Addr: FIRInBase, Data: packWords(in)},
+		},
+	}
+	spec.Verify = func(read func(uint32) uint32) error {
+		y, sums := FIRRef(cores, taps, words)
+		for i, w := range y {
+			if got := read(FIROutBase + uint32(4*i)); got != w {
+				return fmt.Errorf("fir: output sample %d = %#x, want %#x", i, got, w)
+			}
+		}
+		for c, w := range sums {
+			if got := read(ChecksumBase + uint32(4*c)); got != w {
+				return fmt.Errorf("fir: core %d segment checksum %#x, want %#x", c, got, w)
+			}
+		}
+		return nil
+	}
+	return spec, nil
+}
+
+// replicate returns the same assembled image for every core; all corpus
+// programs read their core id from the platform info device.
+func replicate(im *asm.Image, cores int) []*asm.Image {
+	progs := make([]*asm.Image, cores)
+	for i := range progs {
+		progs[i] = im
+	}
+	return progs
+}

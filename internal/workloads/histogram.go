@@ -1,0 +1,127 @@
+package workloads
+
+import (
+	"fmt"
+
+	"thermemu/internal/asm"
+)
+
+// Shared-memory offsets of the HISTOGRAM workload.
+const (
+	HistLockAddr = 0x0900 // global spinlock protecting the bin array
+	HistBase     = 0x0A00 // bin counters, one word per bin (<= 256 bins)
+	HistDataBase = 0x2000 // input element stream (bin indices)
+)
+
+// histElement is the deterministic bin index of input element i: a
+// multiplicative hash folded into [0, bins).
+func histElement(i uint32, bins int) uint32 {
+	return (i * 2654435761 >> 7) % uint32(bins)
+}
+
+// HistogramRef computes the reference bin counts for `words` elements.
+func HistogramRef(bins, words int) []uint32 {
+	counts := make([]uint32, bins)
+	for i := 0; i < words; i++ {
+		counts[histElement(uint32(i), bins)]++
+	}
+	return counts
+}
+
+// histProgram generates the per-core HISTOGRAM assembly: each core walks
+// its disjoint segment of the element stream and increments the shared bin
+// counters under one global swap-based spinlock — every increment fights
+// every other core for the same lock word, which is the point: the
+// workload saturates the interconnect with contended atomic traffic in a
+// way the segment-parallel drivers never do.
+func histProgram(seg int) string {
+	return fmt.Sprintf(`
+	.equ SEG,   %d            ; elements per core
+	.equ SEGB,  %d            ; bytes per segment
+	.equ LOCK,  0x%x
+	.equ HIST,  0x%x
+	.equ DATA,  0x%x
+	.equ INFO,  0x22000000
+
+start:
+	li   r20, INFO
+	lw   r21, 0(r20)          ; coreID
+	li   r2, SEGB
+	mul  r3, r21, r2
+	li   r4, DATA
+	add  r4, r4, r3           ; element cursor
+	li   r5, SEG              ; remaining
+	li   r11, LOCK
+	li   r9, HIST
+loop:
+	lw   r6, 0(r4)            ; bin index
+	; acquire the global lock
+acquire:
+	addi r7, r0, 1
+	swap r7, 0(r11)
+	bne  r7, r0, acquire
+	; hist[bin]++
+	slli r8, r6, 2
+	add  r8, r8, r9
+	lw   r10, 0(r8)
+	inc  r10
+	sw   r10, 0(r8)
+	; release
+	sw   r0, 0(r11)
+	addi r4, r4, 4
+	dec  r5
+	bne  r5, r0, loop
+	halt
+`, seg, seg*4,
+		SharedBase+HistLockAddr, SharedBase+HistBase, SharedBase+HistDataBase)
+}
+
+// Histogram builds the HISTOGRAM workload: `words` elements pre-binned into
+// [0, bins) are split into one segment per core, and every core counts its
+// elements into the shared bin array under a single global spinlock. The
+// final counts are interleaving-independent (increments commute), so the
+// verifier can check them bit-exactly on any kernel.
+func Histogram(cores, bins, words int) (*Spec, error) {
+	if cores <= 0 || bins <= 0 || words <= 0 {
+		return nil, fmt.Errorf("workloads: cores, bins and words must be positive")
+	}
+	if bins > (HistDataBase-HistBase)/4 {
+		return nil, fmt.Errorf("workloads: histogram with %d bins overruns the data base (max %d)",
+			bins, (HistDataBase-HistBase)/4)
+	}
+	if words%cores != 0 {
+		return nil, fmt.Errorf("workloads: %d elements must divide evenly across %d cores", words, cores)
+	}
+	im, err := asm.Assemble(histProgram(words / cores))
+	if err != nil {
+		return nil, fmt.Errorf("workloads: histogram program: %w", err)
+	}
+	data := make([]uint32, words)
+	for i := range data {
+		data[i] = histElement(uint32(i), bins)
+	}
+	spec := &Spec{
+		Name:     fmt.Sprintf("histogram-%dc-%db-%dw", cores, bins, words),
+		Programs: replicate(im, cores),
+		Shared:   []SharedBlock{{Addr: HistDataBase, Data: packWords(data)}},
+	}
+	spec.Verify = func(read func(uint32) uint32) error {
+		want := HistogramRef(bins, words)
+		var total uint32
+		for b, w := range want {
+			got := read(HistBase + uint32(4*b))
+			if got != w {
+				return fmt.Errorf("histogram: bin %d count %d, want %d (lost updates)", b, got, w)
+			}
+			total += got
+		}
+		if total != uint32(words) {
+			return fmt.Errorf("histogram: %d elements counted, want %d", total, words)
+		}
+		if lock := read(HistLockAddr); lock != 0 {
+			return fmt.Errorf("histogram: lock left held (%d)", lock)
+		}
+		return nil
+	}
+	return spec, nil
+}

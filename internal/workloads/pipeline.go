@@ -1,0 +1,156 @@
+package workloads
+
+import (
+	"fmt"
+
+	"thermemu/internal/asm"
+)
+
+// Shared-memory offsets of the PIPELINE workload.
+const (
+	PipeOutAddr = 0x0B00 // final accumulator published by the last stage
+	PipeBase    = 0x0C00 // single-slot mailboxes, 8 bytes per stage boundary
+)
+
+// pipeSource is the deterministic value item i enters the pipeline with.
+func pipeSource(i uint32) uint32 { return (i*31 + 7) & 0xFFFF }
+
+// pipeStage is the transformation stage c applies to an item (stages are
+// cores 1..cores-1; core 0 only produces).
+func pipeStage(v uint32, c int) uint32 { return v*3 + uint32(c) }
+
+// PipelineRef computes the reference final accumulator: every item flows
+// through stages 1..cores-1 in FIFO order and the last stage sums the
+// results in 32-bit wraparound arithmetic.
+func PipelineRef(cores, items int) uint32 {
+	var sum uint32
+	for i := 0; i < items; i++ {
+		v := pipeSource(uint32(i))
+		for c := 1; c < cores; c++ {
+			v = pipeStage(v, c)
+		}
+		sum += v
+	}
+	return sum
+}
+
+// pipeProgram generates the per-core PIPELINE assembly. Core 0 produces
+// `items` values; cores 1..n-2 relay (pop, transform, push); core n-1
+// consumes and accumulates. Adjacent stages hand items through a
+// single-slot mailbox (flag word + data word) in shared memory: the
+// producer spins until the flag clears, writes the item, raises the flag;
+// the consumer spins until the flag rises, takes the item, clears the
+// flag. Every transfer crosses the interconnect, so on a NoC the traffic
+// pattern is the neighbour-to-neighbour stream the paper's Xpipes fabric
+// is built for.
+func pipeProgram(items int) string {
+	return fmt.Sprintf(`
+	.equ ITEMS, %d
+	.equ PIPE,  0x%x          ; SharedBase + PipeBase
+	.equ OUT,   0x%x          ; SharedBase + PipeOutAddr
+	.equ SHARED, 0x10000000
+	.equ INFO,   0x22000000
+
+start:
+	li   r20, INFO
+	lw   r21, 0(r20)          ; coreID
+	lw   r24, 4(r20)          ; ncores
+	subi r25, r24, 1          ; last stage id
+	li   r17, ITEMS           ; remaining items
+	add  r10, r0, r0          ; accumulator (last stage only)
+	add  r6, r0, r0           ; item index (producer only)
+	li   r2, PIPE
+	slli r3, r21, 3
+	add  r4, r2, r3           ; outgoing mailbox (valid unless last)
+	subi r5, r4, 8            ; incoming mailbox (valid unless first)
+
+loop:
+	bne  r21, r0, consume
+	; producer: v = (i*31 + 7) & 0xFFFF
+	slli r8, r6, 5
+	sub  r8, r8, r6           ; i*31
+	addi r8, r8, 7
+	andi r7, r8, 0xFFFF
+	inc  r6
+	b    produce
+consume:
+	; pop: spin until the incoming flag rises
+cwait:
+	lw   r8, 0(r5)
+	beq  r8, r0, cwait
+	lw   r7, 4(r5)            ; take the item
+	sw   r0, 0(r5)            ; free the slot
+	; transform: v = v*3 + coreID
+	slli r8, r7, 1
+	add  r7, r8, r7
+	add  r7, r7, r21
+produce:
+	beq  r21, r25, sink       ; the last stage keeps the item
+	; push: spin until the outgoing slot frees
+pwait:
+	lw   r8, 0(r4)
+	bne  r8, r0, pwait
+	sw   r7, 4(r4)            ; place the item
+	addi r8, r0, 1
+	sw   r8, 0(r4)            ; raise the flag
+	b    next
+sink:
+	add  r10, r10, r7
+next:
+	dec  r17
+	bne  r17, r0, loop
+
+	; every core publishes its processed-item count; the last stage also
+	; publishes the accumulator.
+	li   r22, SHARED
+	slli r23, r21, 2
+	add  r22, r22, r23
+	li   r9, ITEMS
+	sw   r9, 0(r22)
+	bne  r21, r25, done
+	li   r4, OUT
+	sw   r10, 0(r4)
+done:
+	halt
+`, items, SharedBase+PipeBase, SharedBase+PipeOutAddr)
+}
+
+// Pipeline builds the producer-consumer PIPELINE workload: core 0 streams
+// `items` values through the chain of remaining cores over single-slot
+// shared mailboxes, each stage applying its transformation, and the last
+// core publishes the accumulated result. Needs at least two cores (one
+// producer, one consumer).
+func Pipeline(cores, items int) (*Spec, error) {
+	if cores < 2 {
+		return nil, fmt.Errorf("workloads: pipeline needs at least 2 cores (a producer and a consumer), got %d", cores)
+	}
+	if items <= 0 {
+		return nil, fmt.Errorf("workloads: pipeline items must be positive")
+	}
+	im, err := asm.Assemble(pipeProgram(items))
+	if err != nil {
+		return nil, fmt.Errorf("workloads: pipeline program: %w", err)
+	}
+	spec := &Spec{
+		Name:     fmt.Sprintf("pipeline-%dc-%di", cores, items),
+		Programs: replicate(im, cores),
+	}
+	spec.Verify = func(read func(uint32) uint32) error {
+		want := PipelineRef(cores, items)
+		if got := read(PipeOutAddr); got != want {
+			return fmt.Errorf("pipeline: final accumulator %#x, want %#x", got, want)
+		}
+		for c := 0; c < cores; c++ {
+			if got := read(ChecksumBase + uint32(4*c)); got != uint32(items) {
+				return fmt.Errorf("pipeline: stage %d processed %d items, want %d", c, got, items)
+			}
+		}
+		for b := 0; b < cores-1; b++ {
+			if flag := read(PipeBase + uint32(8*b)); flag != 0 {
+				return fmt.Errorf("pipeline: mailbox %d flag left raised (%d items stranded)", b, flag)
+			}
+		}
+		return nil
+	}
+	return spec, nil
+}

@@ -1,0 +1,197 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Params carries the numeric knobs a registered workload builder may
+// consult. Builders apply their own defaults for zero-valued fields, so a
+// caller that only knows the core count can build any corpus workload.
+type Params struct {
+	Cores  int
+	PrivKB int // private memory per core in KB, for program-fit checks
+	N      int // matrix dimension / FIR taps / histogram bins
+	Iters  int // repetition count (sustained-load iterations)
+	Size   int // dithering image edge
+	Words  int // stream length (membound, fir, histogram, pipeline items)
+}
+
+// withDefaults returns p with zero fields replaced by the corpus defaults
+// (the same values the CLIs use as flag defaults).
+func (p Params) withDefaults() Params {
+	if p.PrivKB == 0 {
+		p.PrivKB = 64
+	}
+	if p.N == 0 {
+		p.N = 16
+	}
+	if p.Iters == 0 {
+		p.Iters = 10
+	}
+	if p.Size == 0 {
+		p.Size = 64
+	}
+	if p.Words == 0 {
+		p.Words = 64
+	}
+	return p
+}
+
+// Builder is one registry entry: a named corpus workload with its
+// documentation line and spec constructor.
+type Builder struct {
+	Name string
+	// Doc is the one-line description CLIs print in -workload help.
+	Doc string
+	// ForceFreqMHz, when non-zero, is the operating point the workload
+	// imposes on the platform (matrix-tm runs at the Figure 6 point of
+	// 500 MHz regardless of the configured frequency, exactly like the
+	// historical -workload matrix-tm flag behaviour).
+	ForceFreqMHz int
+	// MinCores, when non-zero, is the smallest core count the workload
+	// supports (the producer-consumer pipeline needs at least 2).
+	MinCores int
+	Build    func(Params) (*Spec, error)
+}
+
+var registry = map[string]Builder{}
+
+// Register adds a workload builder to the corpus registry. It panics on a
+// duplicate name: registration happens in package init, so a duplicate is a
+// programming error, not a runtime condition.
+func Register(b Builder) {
+	if b.Name == "" || b.Build == nil {
+		panic("workloads: Register needs a name and a Build func")
+	}
+	if _, dup := registry[b.Name]; dup {
+		panic(fmt.Sprintf("workloads: duplicate registration of %q", b.Name))
+	}
+	registry[b.Name] = b
+}
+
+// Names returns the sorted names of every registered workload.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NamesHelp renders the registry as a "a | b | c" flag-help string, so CLI
+// -workload usage lines always reflect the live corpus.
+func NamesHelp() string { return strings.Join(Names(), " | ") }
+
+// Lookup returns the builder registered under name.
+func Lookup(name string) (Builder, bool) {
+	b, ok := registry[name]
+	return b, ok
+}
+
+// Build constructs the named workload with the given parameters. Unknown
+// names report the full registry so CLI users see what exists.
+func Build(name string, p Params) (*Spec, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q (have %s)", name, NamesHelp())
+	}
+	if b.MinCores > 0 && p.Cores < b.MinCores {
+		return nil, fmt.Errorf("workloads: %s needs at least %d cores, got %d", name, b.MinCores, p.Cores)
+	}
+	return b.Build(p)
+}
+
+func init() {
+	Register(Builder{
+		Name: "matrix",
+		Doc:  "independent NxN integer matrix products per core, combined in shared memory (Table 3)",
+		Build: func(p Params) (*Spec, error) {
+			p = p.withDefaults()
+			return Matrix(p.Cores, p.N, p.Iters, p.PrivKB)
+		},
+	})
+	Register(Builder{
+		Name:         "matrix-tm",
+		Doc:          "the sustained-load MATRIX variant of the thermal experiments, pinned to 500 MHz (Table 3, Figure 6)",
+		ForceFreqMHz: 500,
+		Build: func(p Params) (*Spec, error) {
+			p = p.withDefaults()
+			return MatrixTM(p.Cores, p.N, p.Iters, p.PrivKB)
+		},
+	})
+	Register(Builder{
+		Name: "dithering",
+		Doc:  "Floyd-Steinberg dithering of two shared grey images, one horizontal segment per core (Table 3)",
+		Build: func(p Params) (*Spec, error) {
+			p = p.withDefaults()
+			return Dithering(p.Cores, p.Size)
+		},
+	})
+	Register(Builder{
+		Name: "membound",
+		Doc:  "stall-bound shared-stream reads, the skip-ahead kernel's worst case",
+		Build: func(p Params) (*Spec, error) {
+			p = p.withDefaults()
+			return MemBound(p.Cores, p.Words, p.Iters)
+		},
+	})
+	Register(Builder{
+		Name: "locks",
+		Doc:  "spinlock-protected shared counter increments, stressing atomic exchange and contention",
+		Build: func(p Params) (*Spec, error) {
+			p = p.withDefaults()
+			return Locks(p.Cores, p.Iters)
+		},
+	})
+	Register(Builder{
+		Name: "fir",
+		Doc:  "streaming N-tap FIR filter over a shared sample stream, one output segment per core",
+		Build: func(p Params) (*Spec, error) {
+			p = p.withDefaults()
+			return FIR(p.Cores, firDefaultTaps(p.N), p.Words, p.Iters)
+		},
+	})
+	Register(Builder{
+		Name: "histogram",
+		Doc:  "shared histogram binning under one global spinlock - heavy lock contention on the interconnect",
+		Build: func(p Params) (*Spec, error) {
+			p = p.withDefaults()
+			return Histogram(p.Cores, histDefaultBins(p.N), p.Words)
+		},
+	})
+	Register(Builder{
+		Name:     "pipeline",
+		Doc:      "producer-consumer chain through single-slot shared mailboxes, core i feeding core i+1 (NoC-friendly)",
+		MinCores: 2,
+		Build: func(p Params) (*Spec, error) {
+			p = p.withDefaults()
+			return Pipeline(p.Cores, p.Words)
+		},
+	})
+}
+
+// firDefaultTaps maps the generic N parameter (default 16, sized for matrix
+// dimensions) onto a sensible FIR tap count.
+func firDefaultTaps(n int) int {
+	if n > 64 {
+		return 8
+	}
+	if n > 16 {
+		return 16
+	}
+	return n
+}
+
+// histDefaultBins maps the generic N parameter onto a histogram bin count.
+func histDefaultBins(n int) int {
+	if n < 2 {
+		return 2
+	}
+	if n > 256 {
+		return 256
+	}
+	return n
+}

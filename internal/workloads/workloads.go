@@ -59,8 +59,8 @@ type Spec struct {
 	Verify func(readShared func(uint32) uint32) error
 }
 
-// words serialises uint32s little-endian.
-func words(vs []uint32) []byte {
+// packWords serialises uint32s little-endian.
+func packWords(vs []uint32) []byte {
 	b := make([]byte, 4*len(vs))
 	for i, v := range vs {
 		binary.LittleEndian.PutUint32(b[4*i:], v)
@@ -463,8 +463,8 @@ func Dithering(cores, size int) (*Spec, error) {
 		Name:     fmt.Sprintf("dithering-%dc-%dx%d", cores, size, size),
 		Programs: progs,
 		Shared: []SharedBlock{
-			{Addr: ImageBase, Data: words(imgs[0])},
-			{Addr: ImageBase + imgBytes, Data: words(imgs[1])},
+			{Addr: ImageBase, Data: packWords(imgs[0])},
+			{Addr: ImageBase + imgBytes, Data: packWords(imgs[1])},
 		},
 	}
 	spec.Verify = func(read func(uint32) uint32) error {

@@ -36,6 +36,7 @@ import (
 	"thermemu/internal/floorplan"
 	"thermemu/internal/golden"
 	"thermemu/internal/mparm"
+	"thermemu/internal/scenario"
 	"thermemu/internal/thermal"
 	"thermemu/internal/tm"
 	"thermemu/internal/workloads"
@@ -101,6 +102,10 @@ type (
 	// ReplayReport pins a divergence to its exact cycle with the differing
 	// fields and both sides' full state dumps.
 	ReplayReport = checkpoint.Report
+	// Scenario is a declarative run description parsed from the versioned
+	// scenario text format; its CoEmulation method yields the same
+	// CoEmulationConfig the equivalent CLI flags would, bit for bit.
+	Scenario = scenario.Scenario
 )
 
 // ErrNoConvergence is the sentinel wrapped by SteadyState errors when the
@@ -135,6 +140,9 @@ func Matrix(cores, n, iters int) (*Workload, error) {
 func Dithering(cores, size int) (*Workload, error) {
 	return workloads.Dithering(cores, size)
 }
+
+// LoadScenario reads, parses and lints a declarative scenario file.
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
 
 // Fig6 builds the Figure 6 closed-loop experiment configuration (Matrix-TM
 // on the 500 MHz NoC platform, 28 thermal cells, optional threshold DFS).
