@@ -22,6 +22,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	rtrace "runtime/trace"
 
 	"thermemu"
 	"thermemu/internal/core"
@@ -47,6 +48,7 @@ func main() {
 		nocSpec   = flag.String("noc", "pair", "NoC topology when -ic noc: pair | mesh:WxH | ring:N")
 		freqMHz   = flag.Int("freq", 0, "virtual clock in MHz (0 = platform default)")
 		blocks    = flag.Bool("blocks", false, "threaded-code block dispatch: translate straight-line R32 blocks at first execution (bit-identical results, faster on compute-bound code)")
+		speculate = flag.Bool("speculate", false, "speculative shared-path kernel: cores free-run against logged shared state, validated and committed at chunk boundaries (implies the parallel kernel; bit-identical results, scales with cores)")
 		withTM    = flag.Bool("tm", false, "enable the 350K/340K threshold DFS policy")
 		windowMs  = flag.Float64("window", 1.0, "sampling window in virtual ms")
 		pipeline  = flag.Int("pipeline", 0, "pipeline depth: overlap emulation with the thermal solve at a sensor latency of this many windows (0 = serial loop)")
@@ -67,13 +69,14 @@ func main() {
 		vcdPath   = flag.String("vcd", "", "write the run as a VCD waveform to this path")
 		jsonPath  = flag.String("json", "", "write the run's samples as JSON to this path")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+		execTrace = flag.String("exectrace", "", "write a runtime execution trace of the run to this path (inspect with go tool trace)")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	)
 	flag.Parse()
 	setFlags := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
-	if err := profiled(*cpuProf, *memProf, func() error {
-		return run(*scenPath, setFlags, *cores, *workload, *n, *iters, *size, *words, *ic, *nocSpec, *freqMHz, *blocks, *withTM,
+	if err := profiled(*cpuProf, *memProf, *execTrace, func() error {
+		return run(*scenPath, setFlags, *cores, *workload, *n, *iters, *size, *words, *ic, *nocSpec, *freqMHz, *blocks, *speculate, *withTM,
 			*windowMs, *pipeline, *tscale, *cells, *workers, *csvPath, *hostAddr, *fault, *faultSeed,
 			*redial, *report, *digest, *ckptDir, *ckptEvery, *resume, *fork, *vcdPath, *jsonPath)
 	}); err != nil {
@@ -86,14 +89,26 @@ func main() {
 // them together with -scenario is a conflict, not a silent override.
 var scenarioOwned = []string{
 	"cores", "workload", "n", "iters", "size", "words", "ic", "noc", "freq",
-	"blocks", "tm", "window", "pipeline", "timescale", "cells", "workers",
+	"blocks", "speculate", "tm", "window", "pipeline", "timescale", "cells", "workers",
 	"fault", "fault-seed",
 }
 
-// profiled runs body under the requested pprof collectors. The CPU profile
-// covers the whole run; the heap profile is written after a final GC so it
-// reflects live steady-state memory, not garbage.
-func profiled(cpuPath, memPath string, body func() error) error {
+// profiled runs body under the requested pprof collectors and the runtime
+// execution tracer. The CPU profile and the execution trace cover the whole
+// run; the heap profile is written after a final GC so it reflects live
+// steady-state memory, not garbage.
+func profiled(cpuPath, memPath, tracePath string, body func() error) error {
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			return err
+		}
+		defer rtrace.Stop()
+	}
 	if cpuPath != "" {
 		f, err := os.Create(cpuPath)
 		if err != nil {
@@ -124,7 +139,7 @@ func profiled(cpuPath, memPath string, body func() error) error {
 
 func run(scenPath string, setFlags map[string]bool,
 	cores int, workload string, n, iters, size, words int, ic, nocSpec string, freqMHz int,
-	blocks, withTM bool, windowMs float64, pipeline int, tscale float64, cells, workers int,
+	blocks, speculate, withTM bool, windowMs float64, pipeline int, tscale float64, cells, workers int,
 	csvPath, hostAddr, fault string, faultSeed int64, redial, report, digest bool,
 	ckptDir string, ckptEvery int, resumePath, forkPath string,
 	vcdPath, jsonPath string) error {
@@ -182,6 +197,12 @@ func run(scenPath string, setFlags map[string]bool,
 			pcfg.FreqHz = uint64(b.ForceFreqMHz) * 1e6 // the workload's pinned operating point
 		}
 		pcfg.Blocks = blocks
+		if speculate {
+			// The speculative kernel rides on the parallel kernel's chunked
+			// epochs; selecting it selects both.
+			pcfg.Parallel = true
+			pcfg.Speculate = true
+		}
 
 		topt := thermemu.DefaultThermalOptions()
 		if workers > 0 {
@@ -302,6 +323,14 @@ func run(scenPath string, setFlags map[string]bool,
 	fmt.Printf("samples:        %d (window %.2f ms)\n", len(res.Samples), windowMs)
 	fmt.Printf("max temp:       %.2f K\n", res.MaxTempK)
 	fmt.Printf("DFS events:     %d\n", res.DFSEvents)
+	if sp := res.Speculation; sp.SpecChunks > 0 || sp.GatedChunks > 0 {
+		clean := 0.0
+		if sp.SpecChunks > 0 {
+			clean = 100 * float64(sp.CleanChunks) / float64(sp.SpecChunks)
+		}
+		fmt.Printf("speculation:    %d chunks (%.1f%% clean), %d conflicts, %d poisoned, %d replays, %d gated\n",
+			sp.SpecChunks, clean, sp.Conflicts, sp.Poisoned, sp.Replays, sp.GatedChunks)
+	}
 	if pipeline > 0 {
 		fmt.Printf("pipeline:       depth %d (sensor latency %d windows), thermal lag %.3f ms frozen\n",
 			pipeline, pipeline, float64(res.ThermalLagPs)*1e-9)

@@ -58,6 +58,9 @@ type block struct {
 	valid bool
 	ops   []blockOp
 	fp    *mem.FetchPath
+	// plan is the block's batched-fetch plan (nil when the fetch path
+	// cannot batch).
+	plan *mem.BatchPlan
 }
 
 func (b *block) overlaps(addr, n uint32) bool {
@@ -232,6 +235,7 @@ func (c *Core) translate(pc uint32) *block {
 	for i, in := range instrs {
 		emitOp(&b.ops[i], in, pc+uint32(i)*4)
 	}
+	b.plan = fp.NewBatchPlan(pc, uint32(len(instrs)))
 	bc.blocks[pc] = b
 	for pg := pc &^ (blockPageSize - 1); pg < b.end; pg += blockPageSize {
 		bc.pages[pg] = append(bc.pages[pg], b)
@@ -276,19 +280,70 @@ func (c *Core) StepBlocks(now, max uint64) (cycles, steps, skipped uint64) {
 	bc := c.blocks
 	hook := c.issueHook
 	cyc, end := now, now+max
+	// issued counts instructions committed this invocation; the per-core
+	// active-cycle and instruction counters are settled from it in one add
+	// at each return (their intermediate values are unobservable inside the
+	// window), keeping two counter updates off the per-instruction path.
+	var issued uint64
+	// Batched-fetch state, carried ACROSS block executions: while consecutive
+	// executions re-enter the same Ready plan (the hot-loop case), their
+	// fetches accumulate in fetched and settle in a single exact Settle call
+	// when the plan changes, the per-instruction fetch path resumes, or the
+	// window exits. pendPlan/pendFp name the plan the pending count belongs
+	// to; zero pending means the per-instruction path is in use.
+	var (
+		pendPlan *mem.BatchPlan
+		pendFp   *mem.FetchPath
+		fetched  uint32
+		fHit     uint64
+	)
 	for cyc < end {
 		b := bc.lookup(c.pc)
 		if b == nil {
 			b = c.translate(c.pc)
 			if b == nil {
-				return cyc - now, steps, skipped
+				if fetched > 0 {
+					pendFp.Settle(pendPlan, fetched)
+				}
+				c.stats.ActiveCycles += issued
+				c.stats.Instructions += issued
+				return cyc - now, issued, skipped
 			}
 		}
 		fp := b.fp
 		ops := b.ops
+		batched := false
+		if b.plan != nil {
+			if b.plan == pendPlan && fetched > 0 {
+				// Same plan re-entered with fetches still pending: batched
+				// fetches defer all icache traffic and data accesses go to
+				// the dcache, so nothing can have moved the icache epoch
+				// since Ready proved residency — it is still Ready.
+				batched = true
+			} else if h, ok := fp.Ready(b.plan); ok {
+				if fetched > 0 {
+					pendFp.Settle(pendPlan, fetched)
+					fetched = 0
+				}
+				pendPlan, pendFp, fHit = b.plan, fp, h
+				batched = true
+			}
+		}
+		if !batched && fetched > 0 {
+			// Leaving the batched regime: settle before any per-instruction
+			// fetch interleaves with the icache directory.
+			pendFp.Settle(pendPlan, fetched)
+			fetched = 0
+			pendPlan = nil
+		}
 		for i := range ops {
 			if cyc >= end {
-				return cyc - now, steps, skipped
+				if fetched > 0 {
+					pendFp.Settle(pendPlan, fetched)
+				}
+				c.stats.ActiveCycles += issued
+				c.stats.Instructions += issued
+				return cyc - now, issued, skipped
 			}
 			x := &ops[i]
 			if hook != nil {
@@ -296,23 +351,39 @@ func (c *Core) StepBlocks(now, max uint64) (cycles, steps, skipped uint64) {
 			}
 			// Active cycle: same charge order as Step.
 			c.state = Active
-			c.stats.ActiveCycles++
 			if c.act != nil {
 				c.act.Accrue(sniffer.ModeActive, 1)
 			}
 			c.pc = x.pc // keep the Step invariant: pc is the issuing instruction
-			fstall := fp.Fetch(cyc, x.pc)
+			var fstall uint64
+			if batched {
+				fetched++
+				fstall = fHit
+			} else {
+				fstall = fp.Fetch(cyc, x.pc)
+			}
 			dstall := x.run(c, x, cyc)
 			cyc++
 			if c.fault != nil {
-				// Faulting Step: cycle charged, no commit, stall untouched.
-				return cyc - now, steps, skipped
+				// Faulting Step: cycle charged (the faulting issue is an
+				// active cycle), no commit, stall untouched (the fetch
+				// preceding the fault did happen).
+				if fetched > 0 {
+					pendFp.Settle(pendPlan, fetched)
+				}
+				c.stats.ActiveCycles += issued + 1
+				c.stats.Instructions += issued
+				return cyc - now, issued, skipped
 			}
 			c.stall = fstall + dstall
-			c.stats.Instructions++
-			steps++
+			issued++
 			if c.halt {
-				return cyc - now, steps, skipped
+				if fetched > 0 {
+					pendFp.Settle(pendPlan, fetched)
+				}
+				c.stats.ActiveCycles += issued
+				c.stats.Instructions += issued
+				return cyc - now, issued, skipped
 			}
 			if c.stall > 0 {
 				// Settle the stall span in bulk, clipped to the window.
@@ -324,7 +395,12 @@ func (c *Core) StepBlocks(now, max uint64) (cycles, steps, skipped uint64) {
 				skipped += span
 				cyc += span
 				if c.stall > 0 {
-					return cyc - now, steps, skipped
+					if fetched > 0 {
+						pendFp.Settle(pendPlan, fetched)
+					}
+					c.stats.ActiveCycles += issued
+					c.stats.Instructions += issued
+					return cyc - now, issued, skipped
 				}
 			}
 			if !b.valid {
@@ -336,9 +412,15 @@ func (c *Core) StepBlocks(now, max uint64) (cycles, steps, skipped uint64) {
 			}
 		}
 		// Fell off the end (straight-line exit, taken control transfer, or
-		// invalidation): c.pc already points at the successor.
+		// invalidation): c.pc already points at the successor; pending
+		// batched fetches stay pending in case the same block runs next.
 	}
-	return cyc - now, steps, skipped
+	if fetched > 0 {
+		pendFp.Settle(pendPlan, fetched)
+	}
+	c.stats.ActiveCycles += issued
+	c.stats.Instructions += issued
+	return cyc - now, issued, skipped
 }
 
 // emitOp fills one blockOp from a decoded instruction at address pc. The
@@ -380,18 +462,66 @@ func setReg(c *Core, r uint8, v uint32) {
 
 // R-type ALU ops (one function per funct; edge-case semantics mirror aluR).
 var rtypeOps = [...]func(*Core, *blockOp, uint64) uint64{
-	isa.FnAdd:  func(c *Core, x *blockOp, _ uint64) uint64 { setReg(c, x.rd, c.regs[x.rs1]+c.regs[x.rs2]); c.pc = x.next; return 0 },
-	isa.FnSub:  func(c *Core, x *blockOp, _ uint64) uint64 { setReg(c, x.rd, c.regs[x.rs1]-c.regs[x.rs2]); c.pc = x.next; return 0 },
-	isa.FnAnd:  func(c *Core, x *blockOp, _ uint64) uint64 { setReg(c, x.rd, c.regs[x.rs1]&c.regs[x.rs2]); c.pc = x.next; return 0 },
-	isa.FnOr:   func(c *Core, x *blockOp, _ uint64) uint64 { setReg(c, x.rd, c.regs[x.rs1]|c.regs[x.rs2]); c.pc = x.next; return 0 },
-	isa.FnXor:  func(c *Core, x *blockOp, _ uint64) uint64 { setReg(c, x.rd, c.regs[x.rs1]^c.regs[x.rs2]); c.pc = x.next; return 0 },
-	isa.FnNor:  func(c *Core, x *blockOp, _ uint64) uint64 { setReg(c, x.rd, ^(c.regs[x.rs1] | c.regs[x.rs2])); c.pc = x.next; return 0 },
-	isa.FnSll:  func(c *Core, x *blockOp, _ uint64) uint64 { setReg(c, x.rd, c.regs[x.rs1]<<(c.regs[x.rs2]&31)); c.pc = x.next; return 0 },
-	isa.FnSrl:  func(c *Core, x *blockOp, _ uint64) uint64 { setReg(c, x.rd, c.regs[x.rs1]>>(c.regs[x.rs2]&31)); c.pc = x.next; return 0 },
-	isa.FnSra:  func(c *Core, x *blockOp, _ uint64) uint64 { setReg(c, x.rd, uint32(int32(c.regs[x.rs1])>>(c.regs[x.rs2]&31))); c.pc = x.next; return 0 },
-	isa.FnSlt:  func(c *Core, x *blockOp, _ uint64) uint64 { setReg(c, x.rd, b2u(int32(c.regs[x.rs1]) < int32(c.regs[x.rs2]))); c.pc = x.next; return 0 },
-	isa.FnSltu: func(c *Core, x *blockOp, _ uint64) uint64 { setReg(c, x.rd, b2u(c.regs[x.rs1] < c.regs[x.rs2])); c.pc = x.next; return 0 },
-	isa.FnMul:  func(c *Core, x *blockOp, _ uint64) uint64 { setReg(c, x.rd, c.regs[x.rs1]*c.regs[x.rs2]); c.pc = x.next; return 0 },
+	isa.FnAdd: func(c *Core, x *blockOp, _ uint64) uint64 {
+		setReg(c, x.rd, c.regs[x.rs1]+c.regs[x.rs2])
+		c.pc = x.next
+		return 0
+	},
+	isa.FnSub: func(c *Core, x *blockOp, _ uint64) uint64 {
+		setReg(c, x.rd, c.regs[x.rs1]-c.regs[x.rs2])
+		c.pc = x.next
+		return 0
+	},
+	isa.FnAnd: func(c *Core, x *blockOp, _ uint64) uint64 {
+		setReg(c, x.rd, c.regs[x.rs1]&c.regs[x.rs2])
+		c.pc = x.next
+		return 0
+	},
+	isa.FnOr: func(c *Core, x *blockOp, _ uint64) uint64 {
+		setReg(c, x.rd, c.regs[x.rs1]|c.regs[x.rs2])
+		c.pc = x.next
+		return 0
+	},
+	isa.FnXor: func(c *Core, x *blockOp, _ uint64) uint64 {
+		setReg(c, x.rd, c.regs[x.rs1]^c.regs[x.rs2])
+		c.pc = x.next
+		return 0
+	},
+	isa.FnNor: func(c *Core, x *blockOp, _ uint64) uint64 {
+		setReg(c, x.rd, ^(c.regs[x.rs1] | c.regs[x.rs2]))
+		c.pc = x.next
+		return 0
+	},
+	isa.FnSll: func(c *Core, x *blockOp, _ uint64) uint64 {
+		setReg(c, x.rd, c.regs[x.rs1]<<(c.regs[x.rs2]&31))
+		c.pc = x.next
+		return 0
+	},
+	isa.FnSrl: func(c *Core, x *blockOp, _ uint64) uint64 {
+		setReg(c, x.rd, c.regs[x.rs1]>>(c.regs[x.rs2]&31))
+		c.pc = x.next
+		return 0
+	},
+	isa.FnSra: func(c *Core, x *blockOp, _ uint64) uint64 {
+		setReg(c, x.rd, uint32(int32(c.regs[x.rs1])>>(c.regs[x.rs2]&31)))
+		c.pc = x.next
+		return 0
+	},
+	isa.FnSlt: func(c *Core, x *blockOp, _ uint64) uint64 {
+		setReg(c, x.rd, b2u(int32(c.regs[x.rs1]) < int32(c.regs[x.rs2])))
+		c.pc = x.next
+		return 0
+	},
+	isa.FnSltu: func(c *Core, x *blockOp, _ uint64) uint64 {
+		setReg(c, x.rd, b2u(c.regs[x.rs1] < c.regs[x.rs2]))
+		c.pc = x.next
+		return 0
+	},
+	isa.FnMul: func(c *Core, x *blockOp, _ uint64) uint64 {
+		setReg(c, x.rd, c.regs[x.rs1]*c.regs[x.rs2])
+		c.pc = x.next
+		return 0
+	},
 	isa.FnDiv: func(c *Core, x *blockOp, _ uint64) uint64 {
 		v, _ := aluR(isa.FnDiv, c.regs[x.rs1], c.regs[x.rs2])
 		setReg(c, x.rd, v)
@@ -427,15 +557,51 @@ func b2u(b bool) uint32 {
 
 // Immediate ALU ops, indexed by opcode (only the aluI opcodes are filled).
 var aluIOps = [isa.OpSwap + 1]func(*Core, *blockOp, uint64) uint64{
-	isa.OpAddi:  func(c *Core, x *blockOp, _ uint64) uint64 { setReg(c, x.rd, c.regs[x.rs1]+uint32(x.imm)); c.pc = x.next; return 0 },
-	isa.OpAndi:  func(c *Core, x *blockOp, _ uint64) uint64 { setReg(c, x.rd, c.regs[x.rs1]&uint32(x.imm)); c.pc = x.next; return 0 },
-	isa.OpOri:   func(c *Core, x *blockOp, _ uint64) uint64 { setReg(c, x.rd, c.regs[x.rs1]|uint32(x.imm)); c.pc = x.next; return 0 },
-	isa.OpXori:  func(c *Core, x *blockOp, _ uint64) uint64 { setReg(c, x.rd, c.regs[x.rs1]^uint32(x.imm)); c.pc = x.next; return 0 },
-	isa.OpSlti:  func(c *Core, x *blockOp, _ uint64) uint64 { setReg(c, x.rd, b2u(int32(c.regs[x.rs1]) < x.imm)); c.pc = x.next; return 0 },
-	isa.OpSltiu: func(c *Core, x *blockOp, _ uint64) uint64 { setReg(c, x.rd, b2u(c.regs[x.rs1] < uint32(x.imm))); c.pc = x.next; return 0 },
-	isa.OpSlli:  func(c *Core, x *blockOp, _ uint64) uint64 { setReg(c, x.rd, c.regs[x.rs1]<<(uint32(x.imm)&31)); c.pc = x.next; return 0 },
-	isa.OpSrli:  func(c *Core, x *blockOp, _ uint64) uint64 { setReg(c, x.rd, c.regs[x.rs1]>>(uint32(x.imm)&31)); c.pc = x.next; return 0 },
-	isa.OpSrai:  func(c *Core, x *blockOp, _ uint64) uint64 { setReg(c, x.rd, uint32(int32(c.regs[x.rs1])>>(uint32(x.imm)&31))); c.pc = x.next; return 0 },
+	isa.OpAddi: func(c *Core, x *blockOp, _ uint64) uint64 {
+		setReg(c, x.rd, c.regs[x.rs1]+uint32(x.imm))
+		c.pc = x.next
+		return 0
+	},
+	isa.OpAndi: func(c *Core, x *blockOp, _ uint64) uint64 {
+		setReg(c, x.rd, c.regs[x.rs1]&uint32(x.imm))
+		c.pc = x.next
+		return 0
+	},
+	isa.OpOri: func(c *Core, x *blockOp, _ uint64) uint64 {
+		setReg(c, x.rd, c.regs[x.rs1]|uint32(x.imm))
+		c.pc = x.next
+		return 0
+	},
+	isa.OpXori: func(c *Core, x *blockOp, _ uint64) uint64 {
+		setReg(c, x.rd, c.regs[x.rs1]^uint32(x.imm))
+		c.pc = x.next
+		return 0
+	},
+	isa.OpSlti: func(c *Core, x *blockOp, _ uint64) uint64 {
+		setReg(c, x.rd, b2u(int32(c.regs[x.rs1]) < x.imm))
+		c.pc = x.next
+		return 0
+	},
+	isa.OpSltiu: func(c *Core, x *blockOp, _ uint64) uint64 {
+		setReg(c, x.rd, b2u(c.regs[x.rs1] < uint32(x.imm)))
+		c.pc = x.next
+		return 0
+	},
+	isa.OpSlli: func(c *Core, x *blockOp, _ uint64) uint64 {
+		setReg(c, x.rd, c.regs[x.rs1]<<(uint32(x.imm)&31))
+		c.pc = x.next
+		return 0
+	},
+	isa.OpSrli: func(c *Core, x *blockOp, _ uint64) uint64 {
+		setReg(c, x.rd, c.regs[x.rs1]>>(uint32(x.imm)&31))
+		c.pc = x.next
+		return 0
+	},
+	isa.OpSrai: func(c *Core, x *blockOp, _ uint64) uint64 {
+		setReg(c, x.rd, uint32(int32(c.regs[x.rs1])>>(uint32(x.imm)&31)))
+		c.pc = x.next
+		return 0
+	},
 }
 
 func opLui(c *Core, x *blockOp, _ uint64) uint64 {

@@ -37,11 +37,12 @@ func benchSpec(b *testing.B, stall bool, cores int) *workloads.Spec {
 	return spec
 }
 
-func benchPlatform(b *testing.B, spec *workloads.Spec, cores int, parallel, blocks bool) *emu.Platform {
+func benchPlatform(b *testing.B, spec *workloads.Spec, cores int, parallel, blocks, speculate bool) *emu.Platform {
 	b.Helper()
 	cfg := emu.DefaultConfig(cores)
 	cfg.Parallel = parallel
 	cfg.Blocks = blocks
+	cfg.Speculate = speculate
 	p := emu.MustNew(cfg)
 	for i, im := range spec.Programs {
 		if err := p.LoadProgram(i, im); err != nil {
@@ -54,12 +55,12 @@ func benchPlatform(b *testing.B, spec *workloads.Spec, cores int, parallel, bloc
 	return p
 }
 
-func benchKernel(b *testing.B, stall bool, cores int, parallel, blocks bool) {
+func benchKernel(b *testing.B, stall bool, cores int, parallel, blocks, speculate bool) {
 	spec := benchSpec(b, stall, cores)
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		p := benchPlatform(b, spec, cores, parallel, blocks)
+		p := benchPlatform(b, spec, cores, parallel, blocks, speculate)
 		b.StartTimer()
 		var (
 			cyc  uint64
@@ -79,27 +80,27 @@ func benchKernel(b *testing.B, stall bool, cores int, parallel, blocks bool) {
 }
 
 func BenchmarkRunSerial(b *testing.B) {
-	for _, cores := range []int{1, 4, 8} {
+	for _, cores := range []int{1, 2, 4, 8, 16} {
 		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
-			benchKernel(b, false, cores, false, false)
+			benchKernel(b, false, cores, false, false, false)
 		})
 	}
-	for _, cores := range []int{1, 4, 8} {
+	for _, cores := range []int{1, 2, 4, 8, 16} {
 		b.Run(fmt.Sprintf("stall/cores=%d", cores), func(b *testing.B) {
-			benchKernel(b, true, cores, false, false)
+			benchKernel(b, true, cores, false, false, false)
 		})
 	}
 }
 
 func BenchmarkRunParallel(b *testing.B) {
-	for _, cores := range []int{1, 4, 8} {
+	for _, cores := range []int{1, 2, 4, 8, 16} {
 		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
-			benchKernel(b, false, cores, true, false)
+			benchKernel(b, false, cores, true, false, false)
 		})
 	}
-	for _, cores := range []int{1, 4, 8} {
+	for _, cores := range []int{1, 2, 4, 8, 16} {
 		b.Run(fmt.Sprintf("stall/cores=%d", cores), func(b *testing.B) {
-			benchKernel(b, true, cores, true, false)
+			benchKernel(b, true, cores, true, false, false)
 		})
 	}
 }
@@ -109,27 +110,58 @@ func BenchmarkRunParallel(b *testing.B) {
 // numbers of the translation kernel; the stall rows prove skip-ahead
 // workloads don't regress when blocks are on.
 func BenchmarkRunSerialBlocks(b *testing.B) {
-	for _, cores := range []int{1, 4, 8} {
+	for _, cores := range []int{1, 2, 4, 8, 16} {
 		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
-			benchKernel(b, false, cores, false, true)
+			benchKernel(b, false, cores, false, true, false)
 		})
 	}
-	for _, cores := range []int{1, 4, 8} {
+	for _, cores := range []int{1, 2, 4, 8, 16} {
 		b.Run(fmt.Sprintf("stall/cores=%d", cores), func(b *testing.B) {
-			benchKernel(b, true, cores, false, true)
+			benchKernel(b, true, cores, false, true, false)
 		})
 	}
 }
 
 func BenchmarkRunParallelBlocks(b *testing.B) {
-	for _, cores := range []int{1, 4, 8} {
+	for _, cores := range []int{1, 2, 4, 8, 16} {
 		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
-			benchKernel(b, false, cores, true, true)
+			benchKernel(b, false, cores, true, true, false)
 		})
 	}
-	for _, cores := range []int{1, 4, 8} {
+	for _, cores := range []int{1, 2, 4, 8, 16} {
 		b.Run(fmt.Sprintf("stall/cores=%d", cores), func(b *testing.B) {
-			benchKernel(b, true, cores, true, true)
+			benchKernel(b, true, cores, true, true, false)
+		})
+	}
+}
+
+// The Spec variants run the speculative shared-path kernel (Config.Speculate):
+// free-running chunks with logged shared traffic, validated and committed in
+// serial order at each boundary. The matrix rows are the scaling headline —
+// aggregate cycles/s should hold nearly flat as cores are added, where the
+// gated kernel collapses under arbitration.
+func BenchmarkRunParallelSpec(b *testing.B) {
+	for _, cores := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
+			benchKernel(b, false, cores, true, false, true)
+		})
+	}
+	for _, cores := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("stall/cores=%d", cores), func(b *testing.B) {
+			benchKernel(b, true, cores, true, false, true)
+		})
+	}
+}
+
+func BenchmarkRunParallelSpecBlocks(b *testing.B) {
+	for _, cores := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
+			benchKernel(b, false, cores, true, true, true)
+		})
+	}
+	for _, cores := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("stall/cores=%d", cores), func(b *testing.B) {
+			benchKernel(b, true, cores, true, true, true)
 		})
 	}
 }

@@ -176,12 +176,7 @@ func (p *Platform) RunParallelDigest(chunk, maxCycles, every uint64, tr *golden.
 			next = maxCycles
 		}
 		for p.VPCM.Cycle() < next && !p.AllHalted() {
-			n := chunk
-			if left := next - p.VPCM.Cycle(); n > left {
-				n = left
-			}
-			adv := p.runChunk(p.VPCM.Cycle(), n)
-			p.VPCM.Advance(adv)
+			p.advanceChunk(chunk, next)
 		}
 		DigestSnapshot(tr, p.Snapshot())
 	}

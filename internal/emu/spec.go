@@ -1,0 +1,736 @@
+package emu
+
+// This file implements the speculative shared-path kernel: the third
+// execution strategy for parallel chunks, layered over the gated arbiter of
+// sched.go.
+//
+// The gated kernel is deterministic but pays a park/grant rendezvous for
+// every shared-path access, and — far worse on a loaded host — every chunk
+// runs at the pace of its slowest parked core. The speculative kernel removes
+// the rendezvous from the common case: within a chunk every core free-runs to
+// the chunk boundary against an epoch-local read/write log, with shared-path
+// loads serviced from a per-core overlay (its own buffered writes) over a
+// side-effect-free peek of the committed state, shared-path stores buffered
+// in the overlay, and timing predicted against per-core shadow copies of the
+// interconnect and barrier seeded from chunk-start state. Nothing under the
+// controllers' shared/barrier/sniffctl ranges is mutated during a free-run.
+//
+// At the chunk boundary the arbiter walks the logs in (cycle, coreID) order —
+// the serial kernel's exact interleaving — replaying every operation against
+// the real targets: latency entries are recomputed and must equal the
+// prediction, loads are re-read and must equal the speculated value (a
+// per-page version stamp that has not moved since the chunk began proves this
+// without comparing data), stores are applied. A chunk whose walk validates
+// commits with every statistic, every latency and every memory image
+// bit-identical to the serial kernel, because the free-run already charged
+// the (now proven correct) timing and the walk performed the functional
+// shared traffic in serial order. A chunk that fails validation — or that
+// poisons itself by touching a sniffer control register, issuing an unaligned
+// shared word access, or overflowing its log — is rolled back in full
+// (registers, caches, private memories, statistics, sniffers, the partially
+// applied walk) and re-executed through the gated path, which is
+// deterministic by construction. Either way the committed interleaving is
+// the serial one; speculation only changes how fast the kernel finds it.
+//
+// Determinism note: free-runs execute sequentially on the driver goroutine
+// (core 0 first), so the log contents, the validation verdict and the
+// adaptive pacer's decisions are a pure function of committed platform state
+// — identical run after run, at any chunk size, with or without -race.
+
+import (
+	"thermemu/internal/bus"
+	"thermemu/internal/cpu"
+	"thermemu/internal/mem"
+	"thermemu/internal/noc"
+	"thermemu/internal/sniffer"
+	"thermemu/internal/vpcm"
+)
+
+// Speculation pacer constants: chunk growth/backoff and log bounds.
+const (
+	specMinChunk  = 256     // floor after conflict-driven shrink
+	specMaxChunk  = 1 << 16 // cap for clean-streak growth
+	specLogMax    = 1 << 16 // per-core ops per chunk before poisoning
+	specGatedRun  = 48      // gated chunks after a conflict streak
+	specStreakMax = 3       // consecutive replayed chunks that trip the backoff
+)
+
+// SpecStats is the speculative kernel's telemetry. Like SkipStats it is
+// observability, not architecture: none of it is digested, and the gated
+// Parks/Grants counters are reported alongside it by Platform.SpecStats.
+type SpecStats struct {
+	SpecChunks  uint64 // chunks attempted speculatively
+	CleanChunks uint64 // speculative chunks validated and committed
+	Conflicts   uint64 // chunks whose validation walk found a divergence
+	Poisoned    uint64 // chunks aborted before validation (device access, unaligned shared word, log overflow)
+	Replays     uint64 // full gated re-runs after rollback (= Conflicts + Poisoned)
+	GatedChunks uint64 // chunks run gated outright (pacer backoff, tracers or observers attached)
+	LogEntries  uint64 // shared-path operations logged by free-runs
+	Parks       uint64 // cores parked at the gated arbiter
+	Grants      uint64 // grants issued by the gated arbiter
+}
+
+// specOp kinds (one controller-level Target call each).
+const (
+	specLat uint8 = iota
+	specLoad
+	specStore
+)
+
+// specTarget device classes.
+const (
+	specDevShared uint8 = iota
+	specDevBarrier
+	specDevSniff
+)
+
+// specOp is one logged shared-path operation of a free-running core. The
+// controller calls Latency before the functional access of each instruction,
+// so the latency entry carries the issue cycle and the functional entries of
+// the same instruction inherit it (specCore.cycle).
+type specOp struct {
+	cycle uint64
+	lat   uint64 // predicted stall (specLat)
+	addr  uint32 // target-local address
+	val   uint32 // speculated load value / buffered store value
+	vers  uint32 // page version snapshot (shared word loads)
+	bytes uint32 // access width: 4 (word) or 1 (byte)
+	kind  uint8
+	dev   uint8
+	write bool
+}
+
+// specCore is one core's speculation context: its log, its write overlay and
+// the shadow timing models its free-run predicts against.
+type specCore struct {
+	eng      *specEngine
+	id       int
+	active   bool
+	poisoned bool
+	cycle    uint64 // issue cycle of the instruction in progress
+	log      []specOp
+	// overlay buffers this core's speculative shared-memory writes at byte
+	// granularity (keyed by target-local address), so its own loads observe
+	// its own stores exactly as they would serially.
+	overlay map[uint32]byte
+	// shadow interconnect/barrier, re-seeded from committed state at every
+	// chunk start; shadowIC is the prediction port over shadowBus/shadowNet.
+	shadowBus *bus.Bus
+	shadowNet *noc.Network
+	shadowIC  mem.Interconnect
+	shadowBar *mem.Barrier
+	// underShared/underBarrier are the committed-path targets (the gated
+	// wrappers, transparent while the arbiter is idle) the validation walk
+	// replays against.
+	underShared  mem.Target
+	underBarrier mem.Target
+}
+
+func (sc *specCore) poison() {
+	sc.poisoned = true
+}
+
+func (sc *specCore) record(op specOp) {
+	if len(sc.log) >= specLogMax {
+		sc.poison()
+		return
+	}
+	sc.log = append(sc.log, op)
+}
+
+// specTarget interposes on one shared-path range of one core. While the
+// core free-runs (sc.active) it executes the speculative protocol above;
+// otherwise it is a transparent pass-through to the gated chain, so serial
+// stepping, gated chunks and the validation walk all see the platform the
+// gated kernel builds.
+type specTarget struct {
+	sc    *specCore
+	dev   uint8
+	under mem.Target
+}
+
+// Latency implements mem.Target.
+func (t *specTarget) Latency(now uint64, addr uint32, bytes uint32, write bool) uint64 {
+	sc := t.sc
+	if !sc.active {
+		return t.under.Latency(now, addr, bytes, write)
+	}
+	sc.cycle = now
+	switch t.dev {
+	case specDevShared:
+		lat := sc.shadowIC.Transaction(sc.id, now, bytes, write, sc.eng.shared.PureLatency(bytes))
+		sc.record(specOp{kind: specLat, dev: t.dev, cycle: now, addr: addr, bytes: bytes, write: write, lat: lat})
+		return lat
+	case specDevBarrier:
+		lat := sc.shadowBar.Latency(now, addr, bytes, write)
+		sc.record(specOp{kind: specLat, dev: t.dev, cycle: now, addr: addr, bytes: bytes, write: write, lat: lat})
+		return lat
+	}
+	// Sniffer control registers reconfigure live instrumentation; their side
+	// effects cannot be buffered, so the chunk is abandoned to the gated path.
+	sc.poison()
+	return 0
+}
+
+// LoadWord implements mem.Target.
+func (t *specTarget) LoadWord(addr uint32) uint32 {
+	sc := t.sc
+	if !sc.active {
+		return t.under.LoadWord(addr)
+	}
+	switch t.dev {
+	case specDevShared:
+		if addr%4 != 0 {
+			// The controller word paths fault before reaching a target, but a
+			// defensive poison keeps any future unaligned caller exact.
+			sc.poison()
+			return 0
+		}
+		v := sc.peekWord(addr)
+		sc.record(specOp{kind: specLoad, dev: t.dev, cycle: sc.cycle, addr: addr, val: v,
+			vers: sc.eng.shared.PageVersion(addr), bytes: 4})
+		return v
+	case specDevBarrier:
+		v := sc.shadowBar.LoadWord(addr)
+		sc.record(specOp{kind: specLoad, dev: t.dev, cycle: sc.cycle, addr: addr, val: v, bytes: 4})
+		return v
+	}
+	sc.poison()
+	return 0
+}
+
+// StoreWord implements mem.Target.
+func (t *specTarget) StoreWord(addr uint32, v uint32) {
+	sc := t.sc
+	if !sc.active {
+		t.under.StoreWord(addr, v)
+		return
+	}
+	switch t.dev {
+	case specDevShared:
+		if addr%4 != 0 {
+			sc.poison()
+			return
+		}
+		ov := sc.overlay
+		ov[addr], ov[addr+1], ov[addr+2], ov[addr+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		sc.record(specOp{kind: specStore, dev: t.dev, cycle: sc.cycle, addr: addr, val: v, bytes: 4})
+	case specDevBarrier:
+		sc.shadowBar.StoreWord(addr, v)
+		sc.record(specOp{kind: specStore, dev: t.dev, cycle: sc.cycle, addr: addr, val: v, bytes: 4})
+	default:
+		sc.poison()
+	}
+}
+
+// LoadByte implements mem.Target.
+func (t *specTarget) LoadByte(addr uint32) byte {
+	sc := t.sc
+	if !sc.active {
+		return t.under.LoadByte(addr)
+	}
+	switch t.dev {
+	case specDevShared:
+		b, ok := sc.overlay[addr]
+		if !ok {
+			b = sc.eng.shared.PeekByte(addr)
+		}
+		sc.record(specOp{kind: specLoad, dev: t.dev, cycle: sc.cycle, addr: addr, val: uint32(b), bytes: 1})
+		return b
+	case specDevBarrier:
+		b := sc.shadowBar.LoadByte(addr)
+		sc.record(specOp{kind: specLoad, dev: t.dev, cycle: sc.cycle, addr: addr, val: uint32(b), bytes: 1})
+		return b
+	}
+	sc.poison()
+	return 0
+}
+
+// StoreByte implements mem.Target.
+func (t *specTarget) StoreByte(addr uint32, b byte) {
+	sc := t.sc
+	if !sc.active {
+		t.under.StoreByte(addr, b)
+		return
+	}
+	switch t.dev {
+	case specDevShared:
+		sc.overlay[addr] = b
+		sc.record(specOp{kind: specStore, dev: t.dev, cycle: sc.cycle, addr: addr, val: uint32(b), bytes: 1})
+	case specDevBarrier:
+		sc.shadowBar.StoreByte(addr, b)
+		sc.record(specOp{kind: specStore, dev: t.dev, cycle: sc.cycle, addr: addr, val: uint32(b), bytes: 1})
+	default:
+		sc.poison()
+	}
+}
+
+// Size implements mem.Target (pure, like gated.Size).
+func (t *specTarget) Size() uint32 { return t.under.Size() }
+
+// peekWord assembles the core's view of an aligned shared word: its own
+// overlay bytes over a statistics-free peek of the committed contents.
+func (sc *specCore) peekWord(addr uint32) uint32 {
+	if len(sc.overlay) == 0 {
+		return sc.eng.shared.PeekWord(addr)
+	}
+	var v uint32
+	for i := uint32(0); i < 4; i++ {
+		b, ok := sc.overlay[addr+i]
+		if !ok {
+			b = sc.eng.shared.PeekByte(addr + i)
+		}
+		v |= uint32(b) << (8 * i)
+	}
+	return v
+}
+
+// specEngine is the per-platform speculation state: the per-core contexts,
+// the reusable chunk-start snapshots for rollback, the spare interconnect
+// used to rewind a partially applied walk, and the adaptive pacer.
+type specEngine struct {
+	p      *Platform
+	shared *mem.Memory
+	stats  SpecStats
+	cores  []*specCore
+
+	// Chunk-start snapshots (reused across chunks; allocation-free once warm).
+	coreSnaps []cpu.CoreState
+	icMirrors []mem.CacheMirror
+	dcMirrors []mem.CacheMirror
+	ctrlSnaps []mem.CtrlStats
+	privStats []mem.MemStats
+	spmStats  []mem.MemStats
+	actSnaps  []sniffer.ActivityState
+	vpcmSnap  vpcm.State
+	needVPCM  bool
+	doneAt    []uint64
+	cursor    []int
+
+	// Walk-start spares for rewinding a conflicted commit.
+	spareBus *bus.Bus
+	spareNet *noc.Network
+
+	// Adaptive pacer: current speculative chunk size, consecutive replayed
+	// chunks, and gated chunks still owed after a backoff trip.
+	chunk     uint64
+	streak    int
+	gatedLeft int
+}
+
+// newSpecEngine builds the engine and its per-core shadow timing models.
+// Called from New after the real interconnect exists and before the per-core
+// target chains are wired.
+func newSpecEngine(p *Platform, cfg Config, busCfg *bus.Config) *specEngine {
+	e := &specEngine{
+		p:      p,
+		shared: p.Shared,
+		needVPCM: cfg.PrivPhysLatency > cfg.PrivLatency ||
+			cfg.SharedPhysLatency > cfg.SharedLatency,
+		coreSnaps: make([]cpu.CoreState, cfg.Cores),
+		icMirrors: make([]mem.CacheMirror, cfg.Cores),
+		dcMirrors: make([]mem.CacheMirror, cfg.Cores),
+		ctrlSnaps: make([]mem.CtrlStats, cfg.Cores),
+		privStats: make([]mem.MemStats, cfg.Cores),
+		spmStats:  make([]mem.MemStats, cfg.Cores),
+		actSnaps:  make([]sniffer.ActivityState, cfg.Cores),
+		doneAt:    make([]uint64, cfg.Cores),
+		cursor:    make([]int, cfg.Cores),
+	}
+	p.Shared.EnableVersions()
+	for i := 0; i < cfg.Cores; i++ {
+		sc := &specCore{eng: e, id: i, overlay: make(map[uint32]byte),
+			shadowBar: mem.NewBarrier("spec-barrier", cfg.Cores, 1)}
+		if busCfg != nil {
+			b, err := bus.New(*busCfg)
+			if err != nil {
+				panic("emu: spec shadow bus: " + err.Error())
+			}
+			sc.shadowBus, sc.shadowIC = b, b
+		} else {
+			n, err := noc.New(cfg.NoC.Topo, cfg.NoC.Cfg)
+			if err != nil {
+				panic("emu: spec shadow noc: " + err.Error())
+			}
+			sc.shadowNet = n
+			sc.shadowIC = n.TargetPort(cfg.NoC.MemSwitch)
+		}
+		e.cores = append(e.cores, sc)
+	}
+	if busCfg != nil {
+		b, err := bus.New(*busCfg)
+		if err != nil {
+			panic("emu: spec spare bus: " + err.Error())
+		}
+		e.spareBus = b
+	} else {
+		n, err := noc.New(cfg.NoC.Topo, cfg.NoC.Cfg)
+		if err != nil {
+			panic("emu: spec spare noc: " + err.Error())
+		}
+		e.spareNet = n
+	}
+	return e
+}
+
+// mustGate reports whether observation hooks force the gated path: tracers
+// and access observers see events in execution order, which only the gated
+// interleaving reproduces live.
+func (e *specEngine) mustGate() bool {
+	for i, c := range e.p.Cores {
+		if c.HasTracer() || e.p.Ctrls[i].HasObserver() {
+			return true
+		}
+	}
+	return false
+}
+
+// SpecStats returns the speculative kernel's telemetry (zero-valued for
+// platforms built without Config.Speculate), with the gated arbiter's
+// park/grant counts folded in.
+func (p *Platform) SpecStats() SpecStats {
+	var s SpecStats
+	if p.spec != nil {
+		s = p.spec.stats
+	}
+	if p.sched != nil {
+		s.Parks = p.sched.parks
+		s.Grants = p.sched.grants
+	}
+	return s
+}
+
+// installIssueHooks (re)arms the parallel block-dispatch gate refresh before
+// gated execution; clearIssueHooks disarms it for speculative free-runs,
+// where no arbitration happens and the logged Latency cycle carries the
+// issue position instead.
+func (p *Platform) installIssueHooks() {
+	for i, c := range p.Cores {
+		c.SetIssueHook(p.issueHooks[i])
+	}
+}
+
+func (p *Platform) clearIssueHooks() {
+	for _, c := range p.Cores {
+		c.SetIssueHook(nil)
+	}
+}
+
+// advanceChunk executes one epoch of at most chunk cycles (clamped to limit)
+// with the best applicable strategy — speculative, gated, or the single-core
+// fast path — and advances the virtual clock. It is the shared inner step of
+// RunParallel and RunParallelDigest.
+func (p *Platform) advanceChunk(chunk, limit uint64) {
+	base := p.VPCM.Cycle()
+	n := chunk
+	if left := limit - base; n > left {
+		n = left
+	}
+	e := p.spec
+	if e == nil || len(p.Cores) == 1 {
+		// No engine (Config.Speculate off) or a single core, whose accesses
+		// are trivially in serial order already.
+		p.VPCM.Advance(p.runChunk(base, n))
+		return
+	}
+	if e.chunk == 0 {
+		e.chunk = chunk
+	}
+	if e.gatedLeft > 0 || e.mustGate() {
+		if e.gatedLeft > 0 {
+			e.gatedLeft--
+		}
+		e.stats.GatedChunks++
+		p.installIssueHooks()
+		p.VPCM.Advance(p.runChunk(base, n))
+		return
+	}
+	if n > e.chunk {
+		n = e.chunk
+	}
+	adv, ok := p.runChunkSpec(base, n)
+	if ok {
+		e.streak = 0
+		if e.chunk < specMaxChunk {
+			e.chunk *= 2
+		}
+		p.VPCM.Advance(adv)
+		return
+	}
+	// Rolled back: shrink the window, trip the backoff on a streak, and
+	// re-execute the same span through the gated path.
+	e.stats.Replays++
+	e.chunk /= 4
+	if e.chunk < specMinChunk {
+		e.chunk = specMinChunk
+	}
+	e.streak++
+	if e.streak >= specStreakMax {
+		e.streak = 0
+		e.gatedLeft = specGatedRun
+	}
+	p.installIssueHooks()
+	p.VPCM.Advance(p.runChunk(base, n))
+}
+
+// runChunkSpec attempts one speculative epoch of n cycles from base. It
+// returns (advance, true) when the chunk validated and committed, with
+// advance trimmed exactly like runChunk when every core halted inside the
+// chunk. On conflict or poison it returns (0, false) with the platform
+// restored bit-exactly to chunk-start state.
+func (p *Platform) runChunkSpec(base, n uint64) (uint64, bool) {
+	e := p.spec
+	e.stats.SpecChunks++
+
+	// Chunk-start snapshots: everything a free-run can touch.
+	for i, c := range p.Cores {
+		e.coreSnaps[i] = c.SaveState()
+		ctl := p.Ctrls[i]
+		if ic := ctl.ICache(); ic != nil {
+			ic.MirrorInto(&e.icMirrors[i])
+		}
+		if dc := ctl.DCache(); dc != nil {
+			dc.MirrorInto(&e.dcMirrors[i])
+		}
+		e.ctrlSnaps[i] = ctl.Stats()
+		e.privStats[i] = p.Privs[i].Stats()
+		p.Privs[i].BeginUndo()
+		if spm := p.spms[i]; spm != nil {
+			e.spmStats[i] = spm.Stats()
+			spm.BeginUndo()
+		}
+	}
+	for i, a := range p.acts {
+		e.actSnaps[i] = a.SaveState()
+	}
+	if e.needVPCM {
+		e.vpcmSnap = p.VPCM.SaveState()
+	}
+
+	// Free-run every core to the chunk boundary, sequentially, logging the
+	// shared path. The scheduler is idle and the issue hooks are disarmed:
+	// a private-only core runs at full single-core block-dispatch speed.
+	p.clearIssueHooks()
+	end := base + n
+	var skipped uint64
+	barSeed := p.Barrier.SaveState()
+	for i, c := range p.Cores {
+		sc := e.cores[i]
+		sc.log = sc.log[:0]
+		sc.poisoned = false
+		clear(sc.overlay)
+		if sc.shadowBus != nil {
+			sc.shadowBus.CopyStateFrom(p.Bus)
+		}
+		if sc.shadowNet != nil {
+			sc.shadowNet.CopyStateFrom(p.Net)
+		}
+		if err := sc.shadowBar.RestoreState(barSeed); err != nil {
+			panic("emu: spec shadow barrier: " + err.Error())
+		}
+		sc.active = true
+		cyc := base
+		cyc += skipStall(c, cyc, end, &skipped)
+		for cyc < end && !c.Halted() && !sc.poisoned {
+			if p.Cfg.Blocks {
+				if bn, _, bskip := c.StepBlocks(cyc, end-cyc); bn > 0 {
+					cyc += bn
+					skipped += bskip
+					continue
+				}
+			}
+			c.Step(cyc)
+			cyc++
+			if c.StallRemaining() > 0 {
+				cyc += skipStall(c, cyc, end, &skipped)
+			}
+		}
+		sc.active = false
+		e.doneAt[i] = cyc
+	}
+
+	ok := true
+	for _, sc := range e.cores {
+		if sc.poisoned {
+			ok = false
+		}
+	}
+	if ok {
+		ok = e.validateAndCommit()
+	} else {
+		e.stats.Poisoned++
+		// Count the log even for poisoned chunks so the telemetry reflects
+		// the speculation actually attempted.
+		for _, sc := range e.cores {
+			e.stats.LogEntries += uint64(len(sc.log))
+		}
+	}
+	if ok {
+		for i := range p.Cores {
+			p.Privs[i].DropUndo()
+			if spm := p.spms[i]; spm != nil {
+				spm.DropUndo()
+			}
+		}
+		p.skip.SkippedCycles += skipped
+		e.stats.CleanChunks++
+		endC := end
+		if p.AllHalted() {
+			endC = base
+			for _, d := range e.doneAt {
+				if d > endC {
+					endC = d
+				}
+			}
+		}
+		for i, c := range p.Cores {
+			c.AccrueIdle(endC - e.doneAt[i])
+		}
+		return endC - base, true
+	}
+
+	// Rollback: rewind every private effect of the free-runs. (A failed walk
+	// already rewound the shared side before returning.) RestoreState flushes
+	// the block caches, which also discards any block translated from
+	// speculatively written code.
+	for i, c := range p.Cores {
+		c.RestoreState(e.coreSnaps[i])
+		ctl := p.Ctrls[i]
+		if ic := ctl.ICache(); ic != nil {
+			ic.RestoreMirror(&e.icMirrors[i])
+		}
+		if dc := ctl.DCache(); dc != nil {
+			dc.RestoreMirror(&e.dcMirrors[i])
+		}
+		ctl.RestoreStats(e.ctrlSnaps[i])
+		p.Privs[i].RollbackUndo()
+		p.Privs[i].RestoreStats(e.privStats[i])
+		if spm := p.spms[i]; spm != nil {
+			spm.RollbackUndo()
+			spm.RestoreStats(e.spmStats[i])
+		}
+	}
+	for i, a := range p.acts {
+		a.RestoreState(e.actSnaps[i])
+	}
+	if e.needVPCM {
+		if err := p.VPCM.RestoreState(e.vpcmSnap); err != nil {
+			panic("emu: spec clock rollback: " + err.Error())
+		}
+	}
+	return 0, false
+}
+
+// validateAndCommit walks the per-core logs in (cycle, coreID) order against
+// the real shared-path targets. A clean walk IS the commit: loads re-read
+// (and count) the committed state, stores apply in serial order, latency
+// recomputation drives the real interconnect and suppression books. A dirty
+// walk rewinds its partial effects and reports failure.
+func (e *specEngine) validateAndCommit() bool {
+	total := 0
+	for _, sc := range e.cores {
+		total += len(sc.log)
+	}
+	e.stats.LogEntries += uint64(total)
+	if total == 0 {
+		// No core touched the shared path: the free-runs were exact.
+		return true
+	}
+
+	p := e.p
+	e.shared.BeginUndo()
+	sharedStats := e.shared.Stats()
+	barSnap := p.Barrier.SaveState()
+	if e.spareBus != nil {
+		e.spareBus.CopyStateFrom(p.Bus)
+	}
+	if e.spareNet != nil {
+		e.spareNet.CopyStateFrom(p.Net)
+	}
+
+	cursor := e.cursor
+	for i := range cursor {
+		cursor[i] = 0
+	}
+	ok := true
+walk:
+	for {
+		best := -1
+		var bestCycle uint64
+		for ci, sc := range e.cores {
+			i := cursor[ci]
+			if i >= len(sc.log) {
+				continue
+			}
+			// Strict < with ascending core order: ties commit lowest core
+			// first, exactly as StepOne sweeps cores within a cycle.
+			if best < 0 || sc.log[i].cycle < bestCycle {
+				best, bestCycle = ci, sc.log[i].cycle
+			}
+		}
+		if best < 0 {
+			break
+		}
+		sc := e.cores[best]
+		op := &sc.log[cursor[best]]
+		cursor[best]++
+		if !e.replay(sc, op) {
+			ok = false
+			break walk
+		}
+	}
+	if ok {
+		e.shared.DropUndo()
+		return true
+	}
+
+	// Conflict: rewind the partially applied walk.
+	e.stats.Conflicts++
+	e.shared.RollbackUndo()
+	e.shared.RestoreStats(sharedStats)
+	if err := p.Barrier.RestoreState(barSnap); err != nil {
+		panic("emu: spec barrier rollback: " + err.Error())
+	}
+	if e.spareBus != nil {
+		p.Bus.CopyStateFrom(e.spareBus)
+	}
+	if e.spareNet != nil {
+		p.Net.CopyStateFrom(e.spareNet)
+	}
+	return false
+}
+
+// replay applies one logged operation against the committed target chain and
+// reports whether the speculation it encodes still holds.
+func (e *specEngine) replay(sc *specCore, op *specOp) bool {
+	t := sc.underShared
+	if op.dev == specDevBarrier {
+		t = sc.underBarrier
+	}
+	switch op.kind {
+	case specLat:
+		// The free-run charged the predicted stall into the core and its
+		// controller; recomputing against the real interconnect at the same
+		// cycle must agree or every downstream cycle stamp is wrong.
+		return t.Latency(op.cycle, op.addr, op.bytes, op.write) == op.lat
+	case specLoad:
+		if op.bytes == 1 {
+			return uint32(t.LoadByte(op.addr)) == op.val
+		}
+		got := t.LoadWord(op.addr)
+		if op.dev == specDevShared && e.shared.PageVersion(op.addr) == op.vers {
+			// Page version untouched since the chunk began: the optimistic
+			// value is provably current (the functional read above still
+			// counted, keeping traffic statistics serial-exact).
+			return true
+		}
+		return got == op.val
+	default: // specStore
+		if op.bytes == 1 {
+			t.StoreByte(op.addr, byte(op.val))
+		} else {
+			t.StoreWord(op.addr, op.val)
+		}
+		return true
+	}
+}

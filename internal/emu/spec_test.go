@@ -1,0 +1,198 @@
+package emu_test
+
+// Differential conformance for the speculative shared-path kernel (spec.go):
+// for every corpus workload, on both interconnect families, the speculative
+// kernel — with and without block dispatch — must produce bit-identical
+// golden digests to the serial reference, plus run-to-run reproducibility,
+// telemetry invariants, and an adversarial fuzz harness over the
+// commit/rollback engine.
+
+import (
+	"fmt"
+	"testing"
+
+	"thermemu/internal/emu"
+	"thermemu/internal/golden"
+	"thermemu/internal/isa"
+)
+
+func specConfig(cores int, noc, blocks bool) emu.Config {
+	cfg := diffConfig(cores, noc, true)
+	cfg.Speculate = true
+	cfg.Blocks = blocks
+	return cfg
+}
+
+func TestDifferentialSpeculate(t *testing.T) {
+	for _, ic := range []struct {
+		name string
+		noc  bool
+	}{{"bus", false}, {"noc", true}} {
+		for _, cores := range []int{1, 2, 4} {
+			for _, kind := range diffKinds(cores) {
+				t.Run(fmt.Sprintf("%s/%s/%dc", ic.name, kind, cores), func(t *testing.T) {
+					spec := diffSpec(t, kind, cores)
+					want := digestRun(t, diffConfig(cores, ic.noc, false), spec,
+						func(p *emu.Platform, tr *golden.Trace) (uint64, bool) {
+							return p.RunDigest(diffMaxCycles, diffEvery, tr)
+						})
+					for _, blocks := range []bool{false, true} {
+						name := "interp"
+						if blocks {
+							name = "blocks"
+						}
+						got := digestRun(t, specConfig(cores, ic.noc, blocks), spec,
+							func(p *emu.Platform, tr *golden.Trace) (uint64, bool) {
+								return p.RunParallelDigest(64, diffMaxCycles, diffEvery, tr)
+							})
+						if d := golden.Compare(want, got); d != nil {
+							t.Errorf("speculative kernel (%s) diverges from serial: %s", name, d)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDifferentialSpeculate8Core is the wide-platform column: every corpus
+// workload runnable on 8 cores, speculative blocks vs the serial reference.
+// Bus only and a single chunk size, to keep the -race matrix affordable.
+func TestDifferentialSpeculate8Core(t *testing.T) {
+	const cores = 8
+	for _, kind := range diffKinds(cores) {
+		t.Run(kind, func(t *testing.T) {
+			spec := diffSpec(t, kind, cores)
+			want := digestRun(t, diffConfig(cores, false, false), spec,
+				func(p *emu.Platform, tr *golden.Trace) (uint64, bool) {
+					return p.RunDigest(diffMaxCycles, diffEvery, tr)
+				})
+			got := digestRun(t, specConfig(cores, false, true), spec,
+				func(p *emu.Platform, tr *golden.Trace) (uint64, bool) {
+					return p.RunParallelDigest(emu.DefaultChunk, diffMaxCycles, diffEvery, tr)
+				})
+			if d := golden.Compare(want, got); d != nil {
+				t.Errorf("8-core speculative kernel diverges from serial: %s", d)
+			}
+		})
+	}
+}
+
+// TestSpeculateReproducible asserts run-to-run determinism of the speculative
+// kernel on a conflict-heavy workload, where the adaptive pacer's
+// shrink/backoff decisions are actually exercised.
+func TestSpeculateReproducible(t *testing.T) {
+	spec := diffSpec(t, "locks", 4)
+	run := func() *golden.Trace {
+		return digestRun(t, specConfig(4, false, true), spec,
+			func(p *emu.Platform, tr *golden.Trace) (uint64, bool) {
+				return p.RunParallelDigest(64, diffMaxCycles, diffEvery, tr)
+			})
+	}
+	a, b := run(), run()
+	if d := golden.Compare(a, b); d != nil {
+		t.Fatalf("speculative kernel is not reproducible: %s", d)
+	}
+}
+
+// TestSpeculateTelemetry pins the accounting identities of SpecStats: every
+// attempted chunk either commits clean or is rolled back (for a conflict or a
+// poison) and re-run gated, and a contended workload actually speculates.
+func TestSpeculateTelemetry(t *testing.T) {
+	spec := diffSpec(t, "matrix", 4)
+	p := emu.MustNew(specConfig(4, false, true))
+	loadSpec(t, p, spec)
+	if _, done := p.RunParallel(0, diffMaxCycles); !done {
+		t.Fatal("workload did not finish")
+	}
+	st := p.SpecStats()
+	if st.SpecChunks == 0 {
+		t.Fatal("no chunks were attempted speculatively")
+	}
+	if st.CleanChunks == 0 {
+		t.Error("a compute-bound workload should commit clean chunks")
+	}
+	if st.SpecChunks != st.CleanChunks+st.Conflicts+st.Poisoned {
+		t.Errorf("chunk accounting broken: %d attempted != %d clean + %d conflicts + %d poisoned",
+			st.SpecChunks, st.CleanChunks, st.Conflicts, st.Poisoned)
+	}
+	if st.Replays != st.Conflicts+st.Poisoned {
+		t.Errorf("replay accounting broken: %d replays != %d conflicts + %d poisoned",
+			st.Replays, st.Conflicts, st.Poisoned)
+	}
+}
+
+// TestSpeculateValidate pins the configuration surface.
+func TestSpeculateValidate(t *testing.T) {
+	cfg := emu.DefaultConfig(2)
+	cfg.Speculate = true
+	if err := cfg.Validate(); err == nil {
+		t.Error("Speculate without Parallel must be rejected")
+	}
+	cfg.Parallel = true
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("Speculate+Parallel rejected: %v", err)
+	}
+	shc := cfg
+	shc.SharedCacheable = true
+	if err := shc.Validate(); err == nil {
+		t.Error("Speculate with a cacheable shared memory must be rejected")
+	}
+}
+
+// FuzzSpeculateCommit feeds random short programs to a two-core speculative
+// platform and asserts bit-identity with the per-cycle sweep — the
+// adversarial harness for the commit/rollback engine (conflicting stores,
+// barrier spins, sniffer-control poisons, faults, swaps). A tiny chunk keeps
+// validation walks and rollbacks frequent.
+func FuzzSpeculateCommit(f *testing.F) {
+	f.Add([]byte{})
+	// Both cores load-increment-store the same shared word: a guaranteed
+	// validation conflict.
+	f.Add(append(append(
+		u32le(isa.Encode(isa.Instr{Op: isa.OpLw, Rd: 5, Rs1: 1, Imm: 0})),
+		u32le(isa.Encode(isa.Instr{Op: isa.OpAddi, Rd: 5, Rs1: 5, Imm: 1}))...),
+		u32le(isa.Encode(isa.Instr{Op: isa.OpSw, Rd: 5, Rs1: 1, Imm: 0}))...))
+	// Sniffer-control store: poisons every speculative chunk.
+	f.Add(u32le(isa.Encode(isa.Instr{Op: isa.OpSw, Rd: 4, Rs1: 3, Imm: 0})))
+	// Shared swap then backward branch (atomic read-modify-write contention).
+	f.Add(append(
+		u32le(isa.Encode(isa.Instr{Op: isa.OpSwap, Rd: 4, Rs1: 1, Imm: 8})),
+		u32le(isa.Encode(isa.Instr{Op: isa.OpBne, Rs1: 4, Rs2: 0, Imm: -2}))...))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) > 256 {
+			payload = payload[:256]
+		}
+		im := fuzzImage(payload)
+		const (
+			maxCycles = 3000
+			every     = 64
+			chunk     = 16
+		)
+		load := func(p *emu.Platform) {
+			for c := range p.Cores {
+				if err := p.LoadProgram(c, im); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		ref := emu.MustNew(emu.DefaultConfig(2))
+		load(ref)
+		want := golden.NewJournal()
+		stepOneDigest(ref, maxCycles, every, want)
+
+		for _, blocks := range []bool{false, true} {
+			cfg := emu.DefaultConfig(2)
+			cfg.Parallel = true
+			cfg.Speculate = true
+			cfg.Blocks = blocks
+			p := emu.MustNew(cfg)
+			load(p)
+			got := golden.NewJournal()
+			p.RunParallelDigest(chunk, maxCycles, every, got)
+			if d := golden.Compare(want, got); d != nil {
+				t.Fatalf("speculative kernel (blocks=%v) diverges from per-cycle sweep: %s", blocks, d)
+			}
+		}
+	})
+}

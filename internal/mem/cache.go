@@ -73,8 +73,8 @@ type cacheLine struct {
 // always consistent, so the cache only determines how many cycles an access
 // costs and which refills/write-backs reach the next level.
 type Cache struct {
-	cfg   CacheConfig
-	sets  [][]cacheLine
+	cfg  CacheConfig
+	sets [][]cacheLine
 	// lines is the flat backing array the per-set slices in sets view into;
 	// Access indexes it directly (set*assoc) to keep the hot lookup free of
 	// the double indirection.
@@ -90,6 +90,26 @@ type Cache struct {
 	stamp     uint64
 	stats     CacheStats
 	enable    bool
+	// memoLine/memoIdx memoise the resident line of the previous access,
+	// with a second entry behind it: emulated reference streams are
+	// line-local (sequential instruction fetch especially), and data
+	// streams often alternate between exactly two lines (a row-walk and a
+	// column-walk in the same loop body), which a one-entry memo thrashes
+	// on. The memos hold indices into the flat lines array rather than
+	// pointers so repointing them on every access is barrier-free; -1 means
+	// empty. They are repointed by Refill and dropped whenever the
+	// directory could change under them — Invalidate, Flush, SetEnabled,
+	// RestoreState and RestoreMirror all clear both.
+	memoLine  uint32
+	memoIdx   int32
+	memoLine2 uint32
+	memoIdx2  int32
+	// epoch counts directory shape changes (refill, invalidate, flush,
+	// enable toggle, restore): any event that can change which lines are
+	// resident. Batched-fetch plans record the epoch they were validated at
+	// and revalidate only when it moves, so a hot block's residency check
+	// is one compare. Pure hits move only LRU state and leave it unchanged.
+	epoch uint64
 }
 
 // NewCache builds a cache from cfg. It panics on invalid configurations;
@@ -109,6 +129,8 @@ func NewCache(cfg CacheConfig) *Cache {
 		lineShift: uint32(bits.TrailingZeros32(cfg.LineBytes)),
 		setShift:  uint32(bits.TrailingZeros32(nSets)),
 		setMask:   nSets - 1,
+		memoIdx:   -1,
+		memoIdx2:  -1,
 		enable:    true}
 }
 
@@ -124,7 +146,11 @@ func (c *Cache) ResetStats() { c.stats = CacheStats{} }
 // SetEnabled turns the cache on or off; when disabled every access goes
 // straight to the backing target (used to make address ranges uncacheable
 // at run time).
-func (c *Cache) SetEnabled(on bool) { c.enable = on }
+func (c *Cache) SetEnabled(on bool) {
+	c.enable = on
+	c.memoIdx, c.memoIdx2 = -1, -1
+	c.epoch++
+}
 
 // Resolver maps a global address to the target that backs it and the
 // target-local address (provided by the memory controller).
@@ -134,6 +160,8 @@ type Resolver func(addr uint32) (Target, uint32)
 // the target resolved for each victim line, starting at cycle now. It
 // returns the total cycles spent.
 func (c *Cache) Flush(now uint64, resolve Resolver) uint64 {
+	c.memoIdx, c.memoIdx2 = -1, -1
+	c.epoch++
 	var total uint64
 	for si := range c.sets {
 		for wi := range c.sets[si] {
@@ -177,6 +205,26 @@ func (c *Cache) Access(addr uint32, write bool) (hit bool, stall uint64) {
 	}
 	c.stamp++
 	line := addr >> c.lineShift
+	if mi := c.memoIdx; mi >= 0 && line == c.memoLine {
+		ln := &c.lines[mi]
+		c.stats.Hits++
+		ln.lru = c.stamp
+		if write && !c.cfg.WriteThrough {
+			ln.dirty = true
+		}
+		return true, c.cfg.HitLatency
+	}
+	if mi := c.memoIdx2; mi >= 0 && line == c.memoLine2 {
+		c.memoLine2, c.memoIdx2 = c.memoLine, c.memoIdx
+		c.memoLine, c.memoIdx = line, mi
+		ln := &c.lines[mi]
+		c.stats.Hits++
+		ln.lru = c.stamp
+		if write && !c.cfg.WriteThrough {
+			ln.dirty = true
+		}
+		return true, c.cfg.HitLatency
+	}
 	set, tag := line&c.setMask, line>>c.setShift
 	if c.assoc == 1 {
 		// Direct-mapped fast path (the default icache shape): one candidate
@@ -188,6 +236,8 @@ func (c *Cache) Access(addr uint32, write bool) (hit bool, stall uint64) {
 			if write && !c.cfg.WriteThrough {
 				ln.dirty = true
 			}
+			c.memoLine2, c.memoIdx2 = c.memoLine, c.memoIdx
+			c.memoLine, c.memoIdx = line, int32(set)
 			return true, c.cfg.HitLatency
 		}
 		c.stats.Misses++
@@ -202,6 +252,8 @@ func (c *Cache) Access(addr uint32, write bool) (hit bool, stall uint64) {
 			if write && !c.cfg.WriteThrough {
 				lines[i].dirty = true
 			}
+			c.memoLine2, c.memoIdx2 = c.memoLine, c.memoIdx
+			c.memoLine, c.memoIdx = line, int32(base+uint32(i))
 			return true, c.cfg.HitLatency
 		}
 	}
@@ -235,7 +287,34 @@ func (c *Cache) Refill(addr uint32, write bool) (victimAddr uint32, victimDirty 
 	c.stamp++
 	dirty := write && !c.cfg.WriteThrough
 	*v = cacheLine{tag: tag, valid: true, dirty: dirty, lru: c.stamp}
+	// The refilled slot just changed residents: any memo pointing at it is
+	// stale. Demote memo1 only if it survives the eviction.
+	ni := int32(set*c.assoc + uint32(vi))
+	if c.memoIdx2 == ni {
+		c.memoIdx2 = -1
+	}
+	if c.memoIdx != ni {
+		c.memoLine2, c.memoIdx2 = c.memoLine, c.memoIdx
+	}
+	c.memoLine, c.memoIdx = addr>>c.lineShift, ni
+	c.epoch++
 	return victimAddr, victimDirty
+}
+
+// resident returns the flat-array index of the valid line holding addr, or
+// -1, without touching statistics, LRU state or the memo (pure directory
+// probe for batched fetch planning).
+func (c *Cache) resident(addr uint32) int32 {
+	line := addr >> c.lineShift
+	set, tag := line&c.setMask, line>>c.setShift
+	base := set * c.assoc
+	lines := c.lines[base : base+c.assoc]
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			return int32(base + uint32(i))
+		}
+	}
+	return -1
 }
 
 // Contains reports whether the line holding addr is currently resident
@@ -253,6 +332,8 @@ func (c *Cache) Contains(addr uint32) bool {
 // Invalidate drops the line containing addr if resident, without write-back
 // (used by atomic operations that bypass the cache).
 func (c *Cache) Invalidate(addr uint32) {
+	c.memoIdx, c.memoIdx2 = -1, -1
+	c.epoch++
 	set, tag := c.index(addr)
 	lines := c.sets[set]
 	for i := range lines {
@@ -261,4 +342,30 @@ func (c *Cache) Invalidate(addr uint32) {
 			return
 		}
 	}
+}
+
+// CacheMirror is a reusable in-memory snapshot of a cache's directory and
+// counters, sized for the high-frequency save/restore the speculative kernel
+// performs at every chunk boundary (unlike CacheState, it is not a wire
+// format and reuses its backing array across snapshots).
+type CacheMirror struct {
+	lines  []cacheLine
+	stamp  uint64
+	stats  CacheStats
+	enable bool
+}
+
+// MirrorInto copies the cache's full directory state into m, reusing m's
+// storage when already sized.
+func (c *Cache) MirrorInto(m *CacheMirror) {
+	m.lines = append(m.lines[:0], c.lines...)
+	m.stamp, m.stats, m.enable = c.stamp, c.stats, c.enable
+}
+
+// RestoreMirror reinstates a snapshot taken by MirrorInto on the same cache.
+func (c *Cache) RestoreMirror(m *CacheMirror) {
+	copy(c.lines, m.lines)
+	c.stamp, c.stats, c.enable = m.stamp, m.stats, m.enable
+	c.memoIdx, c.memoIdx2 = -1, -1
+	c.epoch++
 }

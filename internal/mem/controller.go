@@ -125,6 +125,11 @@ func (c *Controller) AttachCaches(icache, dcache *Cache) {
 // SetObserver installs the access observer (event-logging sniffer hook).
 func (c *Controller) SetObserver(o Observer) { c.observer = o }
 
+// HasObserver reports whether an access observer is attached. The
+// speculative kernel forces gated execution while one is: observer delivery
+// order must match the committed interleaving exactly.
+func (c *Controller) HasObserver() bool { return c.observer != nil }
+
 // SetCodeWriteHook installs fn, invoked with the global address and width of
 // every store this controller commits — word and byte data stores and the
 // write half of atomic swaps — after the bytes have reached the backing
@@ -293,6 +298,44 @@ func (c *Controller) Fetch(now uint64, addr uint32) (uint32, uint64, error) {
 
 // ReadWord performs a 32-bit data load.
 func (c *Controller) ReadWord(now uint64, addr uint32) (uint32, uint64, error) {
+	// Hot path: an aligned load inside the memoised range hitting the
+	// dcache's memoised line — the inner-loop shape of compute-bound code.
+	// Every effect (cache stamp/LRU/stats, controller stats, functional
+	// load, observer) is identical to the general path below, straight-lined.
+	if r := c.last; r != nil && addr%4 == 0 &&
+		addr >= r.Base && uint64(addr) < r.end && r.Cacheable && r.Kind != KindDevice {
+		if d := c.dcache; d != nil && d.enable {
+			line := addr >> d.lineShift
+			mi := d.memoIdx
+			if mi < 0 || line != d.memoLine {
+				if m2 := d.memoIdx2; m2 >= 0 && line == d.memoLine2 {
+					d.memoLine2, d.memoIdx2 = d.memoLine, d.memoIdx
+					d.memoLine, d.memoIdx = line, m2
+					mi = m2
+				} else {
+					mi = -1
+				}
+			}
+			if mi >= 0 {
+				d.stats.Reads++
+				d.stats.Hits++
+				d.stamp++
+				d.lines[mi].lru = d.stamp
+				stall := d.cfg.HitLatency
+				v := r.Target.LoadWord(addr - r.Base)
+				c.stats.StallCycles += stall
+				if r.Kind == KindPrivate {
+					c.stats.PrivateReads++
+				} else {
+					c.stats.SharedReads++
+				}
+				if c.observer != nil {
+					c.observer(Access{Cycle: now, Core: c.coreID, Addr: addr, Kind: r.Kind, Stall: stall})
+				}
+				return v, stall, nil
+			}
+		}
+	}
 	if addr%4 != 0 {
 		return 0, 0, c.fault(addr, "unaligned word load")
 	}
@@ -308,6 +351,47 @@ func (c *Controller) ReadWord(now uint64, addr uint32) (uint32, uint64, error) {
 
 // WriteWord performs a 32-bit data store.
 func (c *Controller) WriteWord(now uint64, addr uint32, v uint32) (uint64, error) {
+	// Hot path: the store twin of ReadWord's memo-hit path (write-back
+	// caches only — write-through stores always reach the next level).
+	if r := c.last; r != nil && addr%4 == 0 &&
+		addr >= r.Base && uint64(addr) < r.end && r.Cacheable && r.Kind != KindDevice {
+		if d := c.dcache; d != nil && d.enable && !d.cfg.WriteThrough {
+			line := addr >> d.lineShift
+			mi := d.memoIdx
+			if mi < 0 || line != d.memoLine {
+				if m2 := d.memoIdx2; m2 >= 0 && line == d.memoLine2 {
+					d.memoLine2, d.memoIdx2 = d.memoLine, d.memoIdx
+					d.memoLine, d.memoIdx = line, m2
+					mi = m2
+				} else {
+					mi = -1
+				}
+			}
+			if mi >= 0 {
+				d.stats.Writes++
+				d.stats.Hits++
+				d.stamp++
+				ln := &d.lines[mi]
+				ln.lru = d.stamp
+				ln.dirty = true
+				stall := d.cfg.HitLatency
+				r.Target.StoreWord(addr-r.Base, v)
+				if c.codeWrite != nil {
+					c.codeWrite(addr, 4)
+				}
+				c.stats.StallCycles += stall
+				if r.Kind == KindPrivate {
+					c.stats.PrivateWrits++
+				} else {
+					c.stats.SharedWrits++
+				}
+				if c.observer != nil {
+					c.observer(Access{Cycle: now, Core: c.coreID, Addr: addr, Kind: r.Kind, Write: true, Stall: stall})
+				}
+				return stall, nil
+			}
+		}
+	}
 	if addr%4 != 0 {
 		return 0, c.fault(addr, "unaligned word store")
 	}
@@ -426,6 +510,153 @@ func (fp *FetchPath) Contains(addr uint32) bool {
 // statistics side effects (block-translation use). addr must be in range.
 func (fp *FetchPath) PeekWord(addr uint32) uint32 {
 	return fp.m.PeekWord(addr - fp.base)
+}
+
+// fetchSeg is one icache-line-aligned span of a translated block's fetch
+// stream: instruction indices first..last (inclusive, zero-based from the
+// block entry) all fetch from the line containing addr.
+type fetchSeg struct {
+	addr  uint32 // global address of the segment's first instruction
+	first uint32 // index of the segment's first instruction in the block
+	last  uint32 // index of the segment's last instruction in the block
+}
+
+// BatchPlan is the precomputed icache plan of one translated block: its
+// line segmentation plus the resident-line indices of the last successful
+// probe, tagged with the directory epoch they were validated at. While the
+// epoch stands still (no refill/invalidate/flush/restore), re-entering the
+// block costs one compare instead of a directory walk, and a whole run of
+// hitting fetches settles in one batch with effects bit-identical to the
+// per-instruction path.
+type BatchPlan struct {
+	segs  []fetchSeg
+	lines []int32 // flat-array indices into the icache's line store
+	epoch uint64
+	ok    bool
+}
+
+// NewBatchPlan builds the fetch plan for a straight-line block of n
+// instructions entered at the global address entry, or returns nil when the
+// path cannot batch (uncacheable range or no icache).
+func (fp *FetchPath) NewBatchPlan(entry uint32, n uint32) *BatchPlan {
+	ic := fp.ctrl.icache
+	if !fp.cacheable || ic == nil || n == 0 {
+		return nil
+	}
+	lineBytes := uint32(1) << ic.lineShift
+	p := &BatchPlan{epoch: ^uint64(0)}
+	for i := uint32(0); i < n; {
+		a := entry + 4*i
+		last := i + ((a|(lineBytes-1))+1-a)/4 - 1
+		if last > n-1 {
+			last = n - 1
+		}
+		p.segs = append(p.segs, fetchSeg{addr: a, first: i, last: last})
+		i = last + 1
+	}
+	p.lines = make([]int32, 0, len(p.segs))
+	return p
+}
+
+// Ready reports whether every line of the plan is currently resident, so
+// the block's fetch stream is guaranteed all hits, and returns the
+// per-fetch hit latency. The probe mutates no cache state; when it fails
+// the caller falls back to per-instruction Fetch, which performs the real
+// directory update including the miss (and thereby moves the epoch, which
+// re-arms the plan).
+func (fp *FetchPath) Ready(p *BatchPlan) (hitLatency uint64, ok bool) {
+	c := fp.ctrl
+	ic := c.icache
+	if ic == nil || !ic.enable || c.observer != nil {
+		return 0, false
+	}
+	if p.epoch == ic.epoch {
+		if p.ok {
+			return ic.cfg.HitLatency, true
+		}
+		return 0, false
+	}
+	p.epoch = ic.epoch
+	p.lines = p.lines[:0]
+	for i := range p.segs {
+		li := ic.resident(p.segs[i].addr)
+		if li < 0 {
+			p.ok = false
+			return 0, false
+		}
+		p.lines = append(p.lines, li)
+	}
+	p.ok = true
+	return ic.cfg.HitLatency, true
+}
+
+// Settle applies the exact directory and statistics effects of n fetches of
+// a Ready block — up to a full pass per execution, across any number of
+// back-to-back executions (n may exceed the block length): per-line LRU
+// stamps, hit/read counters, controller fetch/stall accounting and the
+// backing memory's functional read count all end up bit-identical to n
+// individual Fetch calls. Nothing may touch the icache between Ready and
+// Settle (data accesses go to the dcache; Swap invalidates only the dcache,
+// and a pending batch is settled before any per-instruction fetch), so the
+// plan's line indices still name the resident lines here.
+func (fp *FetchPath) Settle(p *BatchPlan, n uint32) {
+	c := fp.ctrl
+	ic := c.icache
+	base := ic.stamp
+	ic.stamp += uint64(n)
+	ic.stats.Reads += uint64(n)
+	ic.stats.Hits += uint64(n)
+	blockLen := p.segs[len(p.segs)-1].last + 1
+	if n <= blockLen {
+		// Single (possibly partial) pass: fetch j (0-based) takes stamp
+		// base+j+1, so a line's final LRU is that of its last fetched slot.
+		for i := range p.segs {
+			s := &p.segs[i]
+			if s.first >= n {
+				break
+			}
+			end := s.last
+			if end > n-1 {
+				end = n - 1
+			}
+			ln := &ic.lines[p.lines[i]]
+			ln.lru = base + uint64(end) + 1
+			ic.memoLine, ic.memoIdx = s.addr>>ic.lineShift, p.lines[i]
+		}
+	} else {
+		// k full passes then a final pass of rem fetches (1 <= rem <=
+		// blockLen): a seg reached by the final pass was last fetched there,
+		// any other seg in the last full pass. The memo ends on the line of
+		// the very last fetch, exactly as repeated Access calls leave it.
+		k := uint64(n / blockLen)
+		rem := n % blockLen
+		if rem == 0 {
+			k--
+			rem = blockLen
+		}
+		full := k * uint64(blockLen)
+		for i := range p.segs {
+			s := &p.segs[i]
+			var lastIdx uint64
+			if s.first < rem {
+				e := s.last
+				if e > rem-1 {
+					e = rem - 1
+				}
+				lastIdx = full + uint64(e)
+			} else {
+				lastIdx = full - uint64(blockLen) + uint64(s.last)
+			}
+			ln := &ic.lines[p.lines[i]]
+			ln.lru = base + lastIdx + 1
+			if s.first <= rem-1 && rem-1 <= s.last {
+				ic.memoLine, ic.memoIdx = s.addr>>ic.lineShift, p.lines[i]
+			}
+		}
+	}
+	c.stats.Fetches += uint64(n)
+	c.stats.StallCycles += uint64(n) * ic.cfg.HitLatency
+	fp.m.stats.Reads += uint64(n)
 }
 
 // Fetch charges one instruction fetch at the aligned, in-range global

@@ -50,6 +50,7 @@ func (m *Memory) RestoreState(s MemoryState) error {
 	m.pages = pages
 	m.lastPage = nil // the memoised page belongs to the replaced map
 	m.stats = s.Stats
+	m.undoOn, m.undo = false, m.undo[:0] // the journal refers to replaced pages
 	return nil
 }
 
@@ -104,6 +105,8 @@ func (c *Cache) RestoreState(s CacheState) error {
 	c.stamp = s.Stamp
 	c.stats = s.Stats
 	c.enable = s.Enabled
+	c.memoIdx, c.memoIdx2 = -1, -1 // the memos may point at lines the checkpoint replaced
+	c.epoch++
 	return nil
 }
 
