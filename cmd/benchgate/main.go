@@ -24,9 +24,25 @@
 // percentage points. When coverage rises past the baseline the gate still
 // passes but asks for a baseline refresh, so the floor ratchets upward.
 //
+// Sweep mode (-sweep) gates BenchmarkSweep* rows (from the go test
+// benchmarks or a `cmd/sweep -out` artifact) against a baseline: every
+// baseline row must retain -ratio of its windows/s, and when the canonical
+// scaling rows are present the contracts hold — Workers4 beats Workers1
+// (multi-CPU runners; within 15% on one CPU), Workers8 holds 80% of
+// Workers4, and the checkpoint-shared warm-up grid beats the cold one in
+// wall time.
+//
+// Promote mode (-promote) atomically replaces a baseline with its freshly
+// regenerated BASELINE.new sibling, so refreshes are a rename — a stray
+// `.new` file can never linger as the accidental baseline (CI rejects any
+// tracked *.json.new).
+//
 // Usage: benchgate [BENCH_loop.json]
-//        benchgate -emu [-ratio 0.8] NEW_BENCH_emu.json BASELINE_BENCH_emu.json
-//        benchgate -cover [-slack 0.3] coverage.out COVERAGE.baseline
+//
+//	benchgate -emu [-ratio 0.8] NEW_BENCH_emu.json BASELINE_BENCH_emu.json
+//	benchgate -cover [-slack 0.3] coverage.out COVERAGE.baseline
+//	benchgate -sweep [-ratio 0.8] NEW_BENCH_sweep.json BASELINE_BENCH_sweep.json
+//	benchgate -promote BASELINE_BENCH_emu.json
 package main
 
 import (
@@ -51,14 +67,16 @@ type event struct {
 type metrics struct {
 	windowsPerS float64
 	cyclesPerS  float64
+	nsPerOp     float64
 	allocsPerW  float64
 	hasAllocs   bool
 	maxprocs    float64
 }
 
 var (
-	loopResultLine = regexp.MustCompile(`^(BenchmarkClosedLoop\w+?)(?:-\d+)?\s+\d+\s+(.*)$`)
-	emuResultLine  = regexp.MustCompile(`^(BenchmarkRun(?:Serial|Parallel)\S*?)(?:-\d+)?\s+\d+\s+(.*)$`)
+	loopResultLine  = regexp.MustCompile(`^(BenchmarkClosedLoop\w+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+	emuResultLine   = regexp.MustCompile(`^(BenchmarkRun(?:Serial|Parallel)\S*?)(?:-\d+)?\s+\d+\s+(.*)$`)
+	sweepResultLine = regexp.MustCompile(`^(BenchmarkSweep\S*?)(?:-\d+)?\s+\d+\s+(.*)$`)
 )
 
 // readText reassembles the raw test output of a `go test -json` stream:
@@ -114,6 +132,8 @@ func parse(path string, result *regexp.Regexp) (map[string]metrics, error) {
 				mt.windowsPerS = v
 			case "cycles/s":
 				mt.cyclesPerS = v
+			case "ns/op":
+				mt.nsPerOp = v
 			case "allocs/window":
 				mt.allocsPerW = v
 				mt.hasAllocs = true
@@ -231,6 +251,117 @@ func gateEmu(newPath, basePath string, ratio float64) int {
 	return c.fail
 }
 
+// gateSweep compares a fresh BenchmarkSweep* run against the committed
+// baseline. Rows are matched by name: throughput rows (windows/s) must
+// retain -ratio of the baseline rate, wall-time-only rows (ns/op) must not
+// grow past 1/-ratio of the baseline. On top of per-row retention the
+// scaling contracts bind whenever their canonical rows exist in the fresh
+// run — they encode *why* the sweep coordinator is worth having.
+func gateSweep(newPath, basePath string, ratio float64) int {
+	fresh, err := parse(newPath, sweepResultLine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	base, err := parse(basePath, sweepResultLine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	if len(base) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no sweep benchmark results in baseline %s\n", basePath)
+		return 2
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var c checker
+	for _, name := range names {
+		old := base[name]
+		got, ok := fresh[name]
+		if !ok {
+			c.check(false, "%s: present in baseline but missing from %s", name, newPath)
+			continue
+		}
+		switch {
+		case old.windowsPerS > 0:
+			c.check(got.windowsPerS >= ratio*old.windowsPerS,
+				"%s: %.1f windows/s vs baseline %.1f (floor %.0f%%)",
+				name, got.windowsPerS, old.windowsPerS, ratio*100)
+		case old.nsPerOp > 0:
+			c.check(got.nsPerOp <= old.nsPerOp/ratio,
+				"%s: %.3gs wall vs baseline %.3gs (ceiling %.0f%%)",
+				name, got.nsPerOp/1e9, old.nsPerOp/1e9, 100/ratio)
+		default:
+			c.check(false, "%s: baseline row has neither windows/s nor ns/op", name)
+		}
+	}
+
+	// Scaling contracts: aggregate throughput must grow with the worker
+	// pool when the runner has CPUs to back it, and may only pay a bounded
+	// coordination tax when it does not (single-CPU parity gates, like the
+	// closed-loop pipeline's).
+	w1, ok1 := fresh["BenchmarkSweepWorkers1"]
+	w4, ok4 := fresh["BenchmarkSweepWorkers4"]
+	w8, ok8 := fresh["BenchmarkSweepWorkers8"]
+	if ok1 && ok4 {
+		if w1.maxprocs > 1 {
+			c.check(w4.windowsPerS > w1.windowsPerS,
+				"scaling (%d cpus): 4 workers %.1f windows/s vs 1 worker %.1f windows/s",
+				int(w1.maxprocs), w4.windowsPerS, w1.windowsPerS)
+		} else {
+			c.check(w4.windowsPerS >= 0.85*w1.windowsPerS,
+				"scaling (1 cpu, parity gate): 4 workers %.1f windows/s vs 1 worker %.1f windows/s",
+				w4.windowsPerS, w1.windowsPerS)
+		}
+	}
+	if ok4 && ok8 {
+		c.check(w8.windowsPerS >= 0.8*w4.windowsPerS,
+			"saturation: 8 workers %.1f windows/s vs 4 workers %.1f windows/s (floor 80%%)",
+			w8.windowsPerS, w4.windowsPerS)
+	}
+	cold, okC := fresh["BenchmarkSweepWarmupCold"]
+	shared, okS := fresh["BenchmarkSweepWarmupShared"]
+	if okC && okS {
+		c.check(shared.nsPerOp < cold.nsPerOp,
+			"warm-up sharing: shared prefix %.3gs wall vs cold %.3gs wall",
+			shared.nsPerOp/1e9, cold.nsPerOp/1e9)
+	}
+
+	extra := make([]string, 0)
+	for name := range fresh {
+		if _, ok := base[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Printf("new  %s: not in baseline\n", name)
+	}
+	return c.fail
+}
+
+// promote replaces a baseline with its regenerated BASELINE.new sibling in
+// one rename, so a refresh either fully lands or leaves the old baseline
+// untouched — and no *.json.new file survives to be committed by accident.
+func promote(basePath string) int {
+	newPath := basePath + ".new"
+	if _, err := os.Stat(newPath); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: nothing to promote: %v\n", err)
+		return 2
+	}
+	if err := os.Rename(newPath, basePath); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	fmt.Printf("promoted %s -> %s\n", newPath, basePath)
+	return 0
+}
+
 // parseCoverProfile totals the statements of a `go test -coverprofile`
 // file. With -coverpkg each test binary reports every instrumented package,
 // so the same block appears once per binary; blocks are merged by key with
@@ -331,11 +462,23 @@ func gateCover(profilePath, basePath string, slack float64) int {
 
 func main() {
 	emu := flag.Bool("emu", false, "gate emulation-kernel cycles/s against a baseline (args: NEW BASELINE)")
-	ratio := flag.Float64("ratio", 0.8, "fraction of baseline cycles/s each kernel benchmark must retain (-emu)")
+	ratio := flag.Float64("ratio", 0.8, "fraction of the baseline each benchmark must retain (-emu, -sweep)")
 	cover := flag.Bool("cover", false, "gate total statement coverage against a baseline (args: PROFILE BASELINE)")
 	slack := flag.Float64("slack", 0.3, "percentage points coverage may drop below the baseline (-cover)")
+	sweepMode := flag.Bool("sweep", false, "gate sweep throughput and scaling contracts against a baseline (args: NEW BASELINE)")
+	promotePath := flag.String("promote", "", "atomically rename BASELINE.new over this baseline and exit")
 	flag.Parse()
 
+	if *promotePath != "" {
+		os.Exit(promote(*promotePath))
+	}
+	if *sweepMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchgate -sweep [-ratio R] NEW_BENCH_sweep.json BASELINE_BENCH_sweep.json")
+			os.Exit(2)
+		}
+		os.Exit(gateSweep(flag.Arg(0), flag.Arg(1), *ratio))
+	}
 	if *emu {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "usage: benchgate -emu [-ratio R] NEW_BENCH_emu.json BASELINE_BENCH_emu.json")

@@ -177,5 +177,7 @@ func runFig6(all, fig6 *bool, fig6Iters *int, fig6Scale *float64, fig6Pipe *int,
 			fail(err)
 		}
 		fmt.Printf("  series written to %s\n", *out)
+		fmt.Printf("  policy/floorplan variants of this figure run as a grid: " +
+			"go run ./cmd/sweep -spec examples/scenarios/noc-grid.sweep -workers 4\n")
 	}
 }

@@ -154,6 +154,9 @@ func run(scenPath string, setFlags map[string]bool,
 		if err != nil {
 			return err
 		}
+		for _, w := range s.Warnings() {
+			fmt.Fprintf(os.Stderr, "thermemu: warning: %s: %s\n", scenPath, w)
+		}
 		cfg, err = s.CoEmulation()
 		if err != nil {
 			return err
@@ -162,6 +165,9 @@ func run(scenPath string, setFlags map[string]bool,
 		cores, ic = s.Cores, s.IC
 		windowMs, pipeline = s.WindowMs, s.Pipeline
 		fault, faultSeed = s.Fault, s.FaultSeed
+		if s.Digest {
+			digest = true // the scenario pins its own evidence
+		}
 	} else {
 		pcfg := thermemu.DefaultPlatform(cores)
 		switch ic {
@@ -374,6 +380,9 @@ func run(scenPath string, setFlags map[string]bool,
 		return err
 	}
 	return writeArtifact(jsonPath, func(f *os.File) error {
-		return trace.WriteSamplesJSON(f, cfg.Host.FP, res.Samples)
+		// The structured run document: summary (final temps, windows/s,
+		// digest, thermal lag) plus the per-window sample series.
+		sum := trace.NewRunSummary(spec.Name, cfg.Host.FP, res, len(res.Samples), cfg.Golden)
+		return trace.WriteRunJSON(f, cfg.Host.FP, sum, res.Samples)
 	})
 }

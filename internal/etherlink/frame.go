@@ -56,6 +56,9 @@ const (
 	// to per-window framing; only the frame count differs.
 	MsgStatsBatch // device -> host: several statistics windows
 	MsgTempBatch  // host -> device: per-cell temperatures for each window
+	// MsgSweep carries the design-space sweep coordinator protocol: JSON
+	// job/result messages chunked to fit the MTU (see internal/sweep).
+	MsgSweep
 )
 
 // String returns the message type name.
@@ -77,6 +80,8 @@ func (t MsgType) String() string {
 		return "stats-batch"
 	case MsgTempBatch:
 		return "temp-batch"
+	case MsgSweep:
+		return "sweep"
 	}
 	return fmt.Sprintf("msg(%d)", uint8(t))
 }

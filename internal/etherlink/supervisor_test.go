@@ -1,0 +1,118 @@
+package etherlink
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSupervisorConcurrentEndpoints verifies the supervisor heals many
+// independent device links against one host concurrently: a server boots K
+// supervised clients, kills every connection at once, and all K must redial
+// transparently on their next Recv — each counting exactly its own
+// reconnect, with no cross-talk between the supervisors' state machines.
+// (The sweep coordinator leans on exactly this: every distributed worker
+// runs its own supervisor against the one coordinator listener.)
+func TestSupervisorConcurrentEndpoints(t *testing.T) {
+	const K = 4
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// The server hands "boot" to the first K connections and "recovered" to
+	// every later one. Clients only redial after the coordinated kill, so
+	// the two phases cannot interleave.
+	var (
+		bootMu    sync.Mutex
+		bootConns []Transport
+		booted    = make(chan struct{}, K)
+	)
+	go func() {
+		phase1 := 0
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			tr := NewTCP(conn, 4)
+			if phase1 < K {
+				phase1++
+				if err := tr.Send([]byte("boot")); err != nil {
+					t.Errorf("server boot send: %v", err)
+				}
+				bootMu.Lock()
+				bootConns = append(bootConns, tr)
+				bootMu.Unlock()
+				booted <- struct{}{}
+			} else {
+				if err := tr.Send([]byte("recovered")); err != nil {
+					t.Errorf("server recovery send: %v", err)
+				}
+				// Left open; client Close tears it down.
+			}
+		}
+	}()
+
+	sups := make([]*Supervisor, K)
+	var dialWG sync.WaitGroup
+	for i := range sups {
+		dialWG.Add(1)
+		go func(i int) {
+			defer dialWG.Done()
+			s, err := DialSupervised(SupervisorConfig{
+				Addr:           ln.Addr().String(),
+				InitialBackoff: 2 * time.Millisecond,
+				MaxBackoff:     20 * time.Millisecond,
+				Seed:           int64(i + 1),
+			})
+			if err != nil {
+				t.Errorf("client %d dial: %v", i, err)
+				return
+			}
+			sups[i] = s
+			b, err := s.Recv()
+			if err != nil || string(b) != "boot" {
+				t.Errorf("client %d boot recv: %q, %v", i, b, err)
+			}
+		}(i)
+	}
+	dialWG.Wait()
+	for i := 0; i < K; i++ {
+		<-booted
+	}
+
+	// The host "crashes": every established connection dies at once.
+	bootMu.Lock()
+	for _, tr := range bootConns {
+		tr.Close()
+	}
+	bootMu.Unlock()
+
+	var recvWG sync.WaitGroup
+	for i, s := range sups {
+		if s == nil {
+			t.Fatalf("client %d never dialed", i)
+		}
+		recvWG.Add(1)
+		go func(i int, s *Supervisor) {
+			defer recvWG.Done()
+			// The dead connection surfaces on this Recv; the supervisor must
+			// redial and retry it transparently.
+			b, err := s.Recv()
+			if err != nil || string(b) != "recovered" {
+				t.Errorf("client %d recv across reconnect: %q, %v", i, b, err)
+				return
+			}
+			if got := s.Stats().Reconnects.Load(); got != 1 {
+				t.Errorf("client %d counted %d reconnects, want 1", i, got)
+			}
+		}(i, s)
+	}
+	recvWG.Wait()
+	for _, s := range sups {
+		s.Close()
+	}
+}

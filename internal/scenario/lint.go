@@ -85,6 +85,20 @@ func (s *Scenario) Lint() error {
 	return errors.Join(errs...)
 }
 
+// Warnings reports lint findings that do not invalidate the scenario but
+// usually mean lost evidence. The only rule so far: a [fault] spec with TM
+// off and no digest — the run injects link faults, yet records neither the
+// policy's reaction nor a conformance digest, so a silently-corrupted run
+// is indistinguishable from a clean one.
+func (s *Scenario) Warnings() []string {
+	var ws []string
+	if s.Fault != "" && s.Policy == "none" && !s.Digest {
+		ws = append(ws, fmt.Sprintf(
+			"fault spec %q with tm policy off and no digest: nothing records whether the faulty link corrupted the run; set digest = true in [scenario] (or a [tm] policy) to keep chaos-run evidence", s.Fault))
+	}
+	return ws
+}
+
 // lintWorkload builds the workload spec and checks its address map against
 // the platform's memories: one program per core, every program image inside
 // private memory, every shared block word-aligned, inside shared memory and

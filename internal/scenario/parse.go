@@ -107,7 +107,7 @@ func stripComment(s string) string {
 
 // kvSections lists the key-value sections and their accepted keys.
 var kvSections = map[string][]string{
-	"scenario": {"name"},
+	"scenario": {"name", "digest"},
 	"platform": {"cores", "ic", "freq-mhz", "priv-kb", "shared-kb", "blocks", "parallel", "speculate"},
 	"workload": {"name", "n", "iters", "size", "words"},
 	"thermal":  {"floorplan", "cells", "window-ms", "timescale", "pipeline", "workers"},
@@ -253,6 +253,8 @@ func (p *parser) assign(qual, val string) error {
 	switch qual {
 	case "scenario.name":
 		s.Name = val
+	case "scenario.digest":
+		return parseBool(&s.Digest, qual, val)
 	case "platform.cores":
 		return parseInt(&s.Cores, qual, val)
 	case "platform.ic":

@@ -14,9 +14,14 @@ import (
 func (s *Scenario) Render() string {
 	var b strings.Builder
 	b.WriteString(Header + "\n")
-	if s.Name != "" {
+	if s.Name != "" || s.Digest {
 		b.WriteString("\n[scenario]\n")
-		fmt.Fprintf(&b, "name = %s\n", s.Name)
+		if s.Name != "" {
+			fmt.Fprintf(&b, "name = %s\n", s.Name)
+		}
+		if s.Digest {
+			fmt.Fprintf(&b, "digest = %t\n", s.Digest)
+		}
 	}
 	b.WriteString("\n[platform]\n")
 	fmt.Fprintf(&b, "cores = %d\n", s.Cores)

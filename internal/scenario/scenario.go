@@ -73,6 +73,10 @@ type SharedWords struct {
 // returns the default scenario to build on programmatically.
 type Scenario struct {
 	Name string
+	// Digest asks the runner to accumulate the golden conformance digest
+	// (the -digest flag in scenario form), pinning the run's evidence to
+	// the file that describes it.
+	Digest bool
 
 	// [platform]
 	Cores    int

@@ -200,6 +200,8 @@ func TestRenderRoundTrip(t *testing.T) {
 		Header + "\n[platform]\ncores = 3\n[program]\n\t; spin\nhalt\n",
 		Header + "\n[program 0]\nhalt\n[program 2]\nhalt # not a comment inside a program\n",
 		Header + "\n[fault]\nseed = 99\n",
+		Header + "\n[scenario]\ndigest = true\n",
+		Header + "\n[scenario]\nname = pinned\ndigest = true\n[fault]\nspec = drop=0.01\n",
 	} {
 		s1, err := Parse(src)
 		if err != nil {
@@ -212,6 +214,41 @@ func TestRenderRoundTrip(t *testing.T) {
 		if !reflect.DeepEqual(s1, s2) {
 			t.Errorf("round trip changed the scenario:\nfirst  %+v\nsecond %+v\nrender:\n%s", s1, s2, s1.Render())
 		}
+	}
+}
+
+// TestWarnings covers the non-fatal lint tier: a chaos run with thermal
+// management off and no digest leaves no evidence the faulty link stayed
+// transparent, so the linter flags it — and stays quiet once any evidence
+// channel (digest or a policy whose decisions would diverge) is on.
+func TestWarnings(t *testing.T) {
+	base := func() *Scenario {
+		s := New()
+		s.Fault = "drop=0.01,dup=0.005"
+		return s
+	}
+	s := base()
+	ws := s.Warnings()
+	if len(ws) != 1 || !strings.Contains(ws[0], "digest") {
+		t.Fatalf("fault+no-tm+no-digest warnings = %q, want the evidence warning", ws)
+	}
+	if err := s.Lint(); err != nil {
+		t.Fatalf("a warning-only scenario must still lint clean: %v", err)
+	}
+
+	s = base()
+	s.Digest = true
+	if ws := s.Warnings(); len(ws) != 0 {
+		t.Errorf("digest on: unexpected warnings %q", ws)
+	}
+	s = base()
+	s.Policy = "threshold-dfs"
+	if ws := s.Warnings(); len(ws) != 0 {
+		t.Errorf("policy on: unexpected warnings %q", ws)
+	}
+	s = New() // no fault spec at all
+	if ws := s.Warnings(); len(ws) != 0 {
+		t.Errorf("no fault: unexpected warnings %q", ws)
 	}
 }
 

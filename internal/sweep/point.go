@@ -1,0 +1,97 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+
+	"thermemu/internal/checkpoint"
+	"thermemu/internal/core"
+	"thermemu/internal/golden"
+	"thermemu/internal/scenario"
+	"thermemu/internal/trace"
+)
+
+// Result is one grid point's outcome: the structured run summary plus the
+// point's grid coordinates and its warm-up lineage.
+type Result struct {
+	Point int    `json:"point"`
+	Name  string `json:"name"`
+	trace.RunSummary
+	// Warmed marks a run that started from the shared warm-up prefix
+	// checkpoint; Forked additionally marks a fresh digest lineage (the
+	// point runs a TM policy, so its digest is a branch off the prefix,
+	// not a continuation of the TM-off run).
+	Warmed bool `json:"warmed,omitempty"`
+	Forked bool `json:"forked,omitempty"`
+}
+
+// RunPoint executes one grid point: the scenario is compiled through the
+// same CoEmulation builder the CLI uses, with the golden digest always on.
+// warmup, when non-nil, is an encoded TMCK checkpoint of the point's TM-off
+// warm-up prefix: a TM-off point resumes it (continuing the golden lineage,
+// so its final digest equals an uninterrupted serial run's), a point with a
+// policy forks from it (fresh lineage, shared prefix cycles still saved).
+func RunPoint(s *scenario.Scenario, warmup []byte) (*Result, error) {
+	cfg, err := s.CoEmulation()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Golden = golden.New()
+	res := &Result{Name: s.Name}
+	if warmup != nil {
+		ck, err := checkpoint.Decode(warmup)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: warm-up checkpoint: %w", err)
+		}
+		cfg.Resume = ck
+		cfg.Fork = s.Policy != "none"
+		res.Warmed = true
+		res.Forked = cfg.Fork
+	}
+	windows := 0
+	cfg.DiscardSamples = true
+	run, err := core.Run(cfg, func(core.Sample) { windows++ })
+	if err != nil {
+		return nil, err
+	}
+	res.RunSummary = trace.NewRunSummary(cfg.Workload.Name, cfg.Host.FP, run, windows, cfg.Golden)
+	return res, nil
+}
+
+// errWarmupCut aborts the warm-up prefix run once its checkpoint is cut:
+// the remaining windows belong to the grid points, not the prefix.
+var errWarmupCut = errors.New("sweep: warm-up prefix complete")
+
+// CutWarmup runs the TM-off warm-up prefix of a grid point's platform for
+// the given number of sampling windows and returns the encoded checkpoint
+// at that boundary. The prefix runs with the digest on, so a TM-off point
+// resuming it continues a real golden lineage.
+func CutWarmup(s *scenario.Scenario, windows int) ([]byte, error) {
+	if windows <= 0 {
+		return nil, fmt.Errorf("sweep: warm-up windows must be positive, got %d", windows)
+	}
+	c := *s
+	c.Policy = "none"
+	cfg, err := c.CoEmulation()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Golden = golden.New()
+	cfg.DiscardSamples = true
+	var cut *checkpoint.Checkpoint
+	cfg.CheckpointEvery = windows
+	cfg.CheckpointSink = func(ck *checkpoint.Checkpoint) error {
+		if ck.Partial {
+			return nil
+		}
+		cut = ck
+		return errWarmupCut
+	}
+	if _, err := core.Run(cfg, nil); err != nil && !errors.Is(err, errWarmupCut) {
+		return nil, fmt.Errorf("sweep: warm-up prefix: %w", err)
+	}
+	if cut == nil {
+		return nil, fmt.Errorf("sweep: workload %q halts before the %d-window warm-up prefix ends", s.Workload, windows)
+	}
+	return checkpoint.Encode(cut), nil
+}

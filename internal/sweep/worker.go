@@ -1,0 +1,88 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+
+	"thermemu/internal/etherlink"
+	"thermemu/internal/scenario"
+)
+
+// Worker executes grid points for a coordinator. It is stateless between
+// jobs: every job carries its full scenario (canonical render) and, when
+// the sweep shares warm-up prefixes, the encoded TMCK checkpoint to resume
+// or fork from — so any worker can run any point, and a re-dispatched
+// point computes the same digest wherever it lands.
+type Worker struct {
+	Name string
+	// Link tunes the reliable endpoint (zero fields take the sweep
+	// defaults via Options).
+	Link etherlink.ReliableConfig
+	Logf func(format string, args ...any)
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// Serve pulls jobs over the transport until the coordinator sends done
+// (returns nil) or the link dies (returns the error). The transport is
+// closed on exit.
+func (w *Worker) Serve(tr etherlink.Transport) error {
+	defer tr.Close()
+	link := w.Link
+	if link.Window == 0 || link.RetryTimeout == 0 || link.MaxRetries == 0 {
+		link = (&Options{Link: link}).sweepLink()
+	}
+	ep := newEndpoint(tr, false, link)
+	if err := sendMsg(ep, &wireMsg{Type: "ready", Worker: w.Name}); err != nil {
+		return err
+	}
+	for {
+		m, err := recvMsg(ep)
+		if err != nil {
+			if errors.Is(err, errPeerStopped) {
+				return nil
+			}
+			return err
+		}
+		switch m.Type {
+		case "job":
+			w.logf("sweep: %s running %s", w.Name, m.Name)
+			reply := &wireMsg{Type: "result", Worker: w.Name, ID: m.ID, Name: m.Name}
+			res, err := w.runJob(m)
+			if err != nil {
+				reply.Error = err.Error()
+			} else {
+				reply.Result = res
+			}
+			if err := sendMsg(ep, reply); err != nil {
+				return err
+			}
+			if err := sendMsg(ep, &wireMsg{Type: "ready", Worker: w.Name}); err != nil {
+				return err
+			}
+		case "done":
+			w.logf("sweep: %s done", w.Name)
+			return nil
+		default:
+			return fmt.Errorf("sweep: unexpected %q message from coordinator", m.Type)
+		}
+	}
+}
+
+func (w *Worker) runJob(m *wireMsg) (*Result, error) {
+	s, err := scenario.Parse(m.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	res, err := RunPoint(s, m.Warmup)
+	if err != nil {
+		return nil, err
+	}
+	res.Point = m.ID
+	res.Name = m.Name
+	return res, nil
+}

@@ -218,10 +218,35 @@ type jsonSample struct {
 	PowerW    map[string]float64 `json:"power_w"`
 }
 
-// jsonRun is the JSON wire form of a whole run.
+// jsonRun is the JSON wire form of a whole run. Run is the structured
+// summary (WriteRunJSON); WriteSamplesJSON leaves it out.
 type jsonRun struct {
 	Floorplan string       `json:"floorplan"`
+	Run       *RunSummary  `json:"run,omitempty"`
 	Samples   []jsonSample `json:"samples"`
+}
+
+// makeJSONSample converts one sample to its wire form, keyed by the
+// floorplan's component names.
+func makeJSONSample(fp *floorplan.Floorplan, s core.Sample) jsonSample {
+	js := jsonSample{
+		TimeS:     float64(s.TimePs) * 1e-12,
+		Cycle:     s.Cycle,
+		FreqMHz:   float64(s.FreqHz) / 1e6,
+		MaxTempK:  s.MaxTempK,
+		Throttled: s.Throttled,
+		TempK:     map[string]float64{},
+		PowerW:    map[string]float64{},
+	}
+	for i, c := range fp.Components {
+		if i < len(s.CompTempK) {
+			js.TempK[c.Name] = s.CompTempK[i]
+		}
+		if i < len(s.CompPowerW) {
+			js.PowerW[c.Name] = s.CompPowerW[i]
+		}
+	}
+	return js
 }
 
 // WriteSamplesJSON dumps a sample series as a self-describing JSON document
@@ -229,24 +254,7 @@ type jsonRun struct {
 func WriteSamplesJSON(w io.Writer, fp *floorplan.Floorplan, samples []core.Sample) error {
 	run := jsonRun{Floorplan: fp.Name}
 	for _, s := range samples {
-		js := jsonSample{
-			TimeS:     float64(s.TimePs) * 1e-12,
-			Cycle:     s.Cycle,
-			FreqMHz:   float64(s.FreqHz) / 1e6,
-			MaxTempK:  s.MaxTempK,
-			Throttled: s.Throttled,
-			TempK:     map[string]float64{},
-			PowerW:    map[string]float64{},
-		}
-		for i, c := range fp.Components {
-			if i < len(s.CompTempK) {
-				js.TempK[c.Name] = s.CompTempK[i]
-			}
-			if i < len(s.CompPowerW) {
-				js.PowerW[c.Name] = s.CompPowerW[i]
-			}
-		}
-		run.Samples = append(run.Samples, js)
+		run.Samples = append(run.Samples, makeJSONSample(fp, s))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")

@@ -17,6 +17,13 @@ import (
 // runSamples produces a small real co-emulation sample series.
 func runSamples(t *testing.T) (*floorplan.Floorplan, []core.Sample) {
 	t.Helper()
+	fp, res := runResult(t)
+	return fp, res.Samples
+}
+
+// runResult produces a small real co-emulation result.
+func runResult(t *testing.T) (*floorplan.Floorplan, *core.Result) {
+	t.Helper()
 	pcfg := emu.DefaultConfig(2)
 	pcfg.FreqHz = 500e6
 	spec, err := workloads.Matrix(2, 8, 12, pcfg.PrivKB)
@@ -39,7 +46,7 @@ func runSamples(t *testing.T) (*floorplan.Floorplan, []core.Sample) {
 	if len(res.Samples) < 2 {
 		t.Fatalf("only %d samples", len(res.Samples))
 	}
-	return fp, res.Samples
+	return fp, res
 }
 
 func TestWriteSamplesVCD(t *testing.T) {
@@ -194,5 +201,45 @@ func TestSamplesJSONRoundTrip(t *testing.T) {
 		if _, ok := row["temp_core0"]; !ok {
 			t.Errorf("row %d missing component temperature", i)
 		}
+	}
+}
+
+// TestRunJSONSummary checks the structured -json document: the run summary
+// rides alongside the sample series, and samples-only consumers
+// (ReadSamplesJSON) still read the same document.
+func TestRunJSONSummary(t *testing.T) {
+	fp, res := runResult(t)
+	sum := NewRunSummary("matrix", fp, res, len(res.Samples), nil)
+	if sum.Cycles != res.Cycles || sum.Windows != len(res.Samples) || !sum.Done {
+		t.Fatalf("summary scalars: %+v", sum)
+	}
+	if sum.MaxTempK != res.MaxTempK || sum.ThermalLagPs != res.ThermalLagPs {
+		t.Fatalf("summary thermal fields: %+v", sum)
+	}
+	last := res.Samples[len(res.Samples)-1]
+	if len(sum.FinalTempK) != len(fp.Components) {
+		t.Fatalf("final temps cover %d of %d components", len(sum.FinalTempK), len(fp.Components))
+	}
+	if sum.FinalTempK[fp.Components[0].Name] != last.CompTempK[0] {
+		t.Errorf("final temp of %s = %v, want %v",
+			fp.Components[0].Name, sum.FinalTempK[fp.Components[0].Name], last.CompTempK[0])
+	}
+
+	var buf bytes.Buffer
+	if err := WriteRunJSON(&buf, fp, sum, res.Samples); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	for _, want := range []string{`"run"`, `"workload": "matrix"`, `"windows"`, `"thermal_lag_ps"`, `"final_temp_k"`} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("run document missing %s", want)
+		}
+	}
+	name, rows, err := ReadSamplesJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("samples-only reader rejected the run document: %v", err)
+	}
+	if name != fp.Name || len(rows) != len(res.Samples) {
+		t.Fatalf("samples-only view: floorplan %q, %d rows", name, len(rows))
 	}
 }
